@@ -1,0 +1,43 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestParseCars(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []packet.NodeID
+		wantErr bool
+	}{
+		{"1,2,3", []packet.NodeID{1, 2, 3}, false},
+		{" 1 , 2 ", []packet.NodeID{1, 2}, false},
+		{"7", []packet.NodeID{7}, false},
+		{"1,,2", []packet.NodeID{1, 2}, false},
+		{"", nil, true},
+		{"x", nil, true},
+		{"70000", nil, true}, // exceeds uint16
+		{"-1", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseCars(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("parseCars(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+		if err == nil && !reflect.DeepEqual(got, tt.want) {
+			t.Fatalf("parseCars(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := pct(1, 4); got != 25 {
+		t.Fatalf("pct(1,4) = %v", got)
+	}
+	if got := pct(3, 0); got != 0 {
+		t.Fatalf("pct(3,0) = %v, want 0 guard", got)
+	}
+}

@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/carq"
+	"repro/internal/packet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Overhead summarises the protocol's transmission cost in one round — the
+// currency of the batched-REQUEST ablation and the epidemic comparison.
+type Overhead struct {
+	DataTx     int
+	HelloTx    int
+	RequestTx  int
+	ResponseTx int
+	// Bytes aggregates wire bytes per frame type.
+	HelloBytes    int
+	RequestBytes  int
+	ResponseBytes int
+}
+
+// MeasureOverhead counts protocol transmissions in a round trace.
+func MeasureOverhead(round *trace.Collector) Overhead {
+	var o Overhead
+	for _, r := range round.Tx {
+		switch r.Type {
+		case packet.TypeData:
+			o.DataTx++
+		case packet.TypeHello:
+			o.HelloTx++
+			o.HelloBytes += r.Bytes
+		case packet.TypeRequest:
+			o.RequestTx++
+			o.RequestBytes += r.Bytes
+		case packet.TypeResponse:
+			o.ResponseTx++
+			o.ResponseBytes += r.Bytes
+		}
+	}
+	return o
+}
+
+// ControlTx returns the non-DATA transmission count.
+func (o Overhead) ControlTx() int { return o.HelloTx + o.RequestTx + o.ResponseTx }
+
+// RecoveryLatencies returns, for each round in which the car both entered
+// the Cooperative-ARQ phase and completed recovery, the delay from phase
+// entry to completion. Rounds without a completion are skipped (the paper's
+// cars occasionally could not recover everything).
+func RecoveryLatencies(rounds []*trace.Collector, car packet.NodeID) []float64 {
+	var out []float64
+	for _, round := range rounds {
+		var coopStart time.Duration = -1
+		for _, p := range round.Phases {
+			if p.Node == car && p.To == carq.PhaseCoopARQ {
+				coopStart = p.At
+				break
+			}
+		}
+		if coopStart < 0 {
+			continue
+		}
+		for _, c := range round.Completed {
+			if c.Node == car && c.At >= coopStart {
+				out = append(out, (c.At - coopStart).Seconds())
+				break
+			}
+		}
+	}
+	return out
+}
+
+// LastRecoveryLatencies returns, per round, the delay from the car's
+// Cooperative-ARQ phase entry to its final cooperative recovery — how long
+// the car needed to extract everything its cooperators had. Unlike
+// RecoveryLatencies it does not require the missing list to drain
+// completely, which it rarely does when the recovery range reaches back to
+// packets nobody received.
+func LastRecoveryLatencies(rounds []*trace.Collector, car packet.NodeID) []float64 {
+	var out []float64
+	for _, round := range rounds {
+		var coopStart time.Duration = -1
+		for _, p := range round.Phases {
+			if p.Node == car && p.To == carq.PhaseCoopARQ {
+				coopStart = p.At
+				break
+			}
+		}
+		if coopStart < 0 {
+			continue
+		}
+		var last time.Duration = -1
+		for _, r := range round.Recovered {
+			if r.Node == car && r.At >= coopStart && r.At > last {
+				last = r.At
+			}
+		}
+		if last < 0 {
+			continue
+		}
+		out = append(out, (last - coopStart).Seconds())
+	}
+	return out
+}
+
+// RecoveryRate returns the fraction of rounds (with a coop phase) in which
+// the car fully drained its missing list.
+func RecoveryRate(rounds []*trace.Collector, car packet.NodeID) float64 {
+	var p stats.Proportion
+	for _, round := range rounds {
+		entered := false
+		for _, ph := range round.Phases {
+			if ph.Node == car && ph.To == carq.PhaseCoopARQ {
+				entered = true
+				break
+			}
+		}
+		if !entered {
+			continue
+		}
+		done := false
+		for _, c := range round.Completed {
+			if c.Node == car {
+				done = true
+				break
+			}
+		}
+		p.Add(done)
+	}
+	return p.Estimate()
+}

@@ -1,0 +1,251 @@
+// Package baseline provides the comparators the reproduction measures
+// C-ARQ against:
+//
+//   - No cooperation: carq.Config.CoopEnabled = false (plain reception) —
+//     the "before coop" column of Table 1.
+//   - The joint-reception oracle ("virtual car"): computed from traces by
+//     analysis.JointSeries / trace.JointRxSet, exactly as the paper
+//     post-processed its captures for Figures 6-8.
+//   - AP-side retransmissions: ap.Config.Repeats > 1, trading new-data
+//     rate for per-packet reliability during coverage.
+//   - Epidemic flooding (this package's EpidemicNode): the push-based
+//     carry-and-forward scheme the paper contrasts C-ARQ with. Nodes
+//     buffer everything they overhear for anyone and blindly re-broadcast
+//     in dark areas, with no REQUEST targeting, no cooperation orders and
+//     no suppression. It delivers, but at a far higher transmission cost —
+//     the paper's argument for pull-based, neighbourhood-scoped recovery.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/carq"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// EpidemicConfig parameterises an epidemic flooding node.
+type EpidemicConfig struct {
+	// ID is this node's address.
+	ID packet.NodeID
+	// APTimeout is the silence period after which the node considers
+	// itself in a dark area and starts flooding, mirroring C-ARQ's phase
+	// trigger for a fair comparison.
+	APTimeout time.Duration
+	// PushInterval is the pacing between flooded frames.
+	PushInterval time.Duration
+	// MaxPushes bounds how many times one buffered packet is flooded.
+	MaxPushes int
+}
+
+// DefaultEpidemicConfig matches C-ARQ's trigger timing with a moderate
+// flooding rate.
+func DefaultEpidemicConfig(id packet.NodeID) EpidemicConfig {
+	return EpidemicConfig{
+		ID:           id,
+		APTimeout:    5 * time.Second,
+		PushInterval: 40 * time.Millisecond,
+		MaxPushes:    2,
+	}
+}
+
+func (c EpidemicConfig) validate() error {
+	if c.APTimeout <= 0 {
+		return fmt.Errorf("baseline: non-positive AP timeout %v", c.APTimeout)
+	}
+	if c.PushInterval <= 0 {
+		return fmt.Errorf("baseline: non-positive push interval %v", c.PushInterval)
+	}
+	if c.MaxPushes <= 0 {
+		return fmt.Errorf("baseline: non-positive max pushes %d", c.MaxPushes)
+	}
+	return nil
+}
+
+// pushKey identifies one buffered foreign packet.
+type pushKey struct {
+	flow packet.NodeID
+	seq  uint32
+}
+
+// EpidemicNode buffers every DATA frame it hears — its own flow and
+// everyone else's — and, in dark areas, re-broadcasts foreign packets
+// round-robin so their owners (and further relays) can pick them up.
+type EpidemicNode struct {
+	cfg  EpidemicConfig
+	ctx  sim.Context
+	port carq.Port
+	rng  *rand.Rand
+	obs  carq.Observer
+
+	own   map[uint32][]byte
+	store map[pushKey][]byte
+	// order keeps deterministic round-robin over the store.
+	order  []pushKey
+	pushes map[pushKey]int
+	cursor int
+
+	dark        bool
+	apTimeoutEv *sim.Event
+	pushEv      *sim.Event
+
+	stats EpidemicStats
+}
+
+// EpidemicStats are the node's cumulative counters.
+type EpidemicStats struct {
+	DataDirect uint64 // own-flow packets received from the AP
+	Recovered  uint64 // own-flow packets received from relays
+	Buffered   uint64 // foreign packets stored
+	Pushes     uint64 // flooded transmissions
+}
+
+// NewEpidemicNode builds a stopped node; Start begins operation.
+func NewEpidemicNode(cfg EpidemicConfig, ctx sim.Context, port carq.Port, rng *rand.Rand, obs carq.Observer) (*EpidemicNode, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil || port == nil || rng == nil {
+		return nil, fmt.Errorf("baseline: nil dependency")
+	}
+	if obs == nil {
+		obs = carq.NopObserver{}
+	}
+	return &EpidemicNode{
+		cfg:    cfg,
+		ctx:    ctx,
+		port:   port,
+		rng:    rng,
+		obs:    obs,
+		own:    make(map[uint32][]byte),
+		store:  make(map[pushKey][]byte),
+		pushes: make(map[pushKey]int),
+	}, nil
+}
+
+// Start implements scenario.Node; the epidemic node is purely reactive
+// until AP silence, so Start is a no-op hook for interface symmetry.
+func (n *EpidemicNode) Start() {}
+
+// Stats returns a snapshot of the counters.
+func (n *EpidemicNode) Stats() EpidemicStats { return n.stats }
+
+// HaveCount returns the number of own-flow packets held.
+func (n *EpidemicNode) HaveCount() int { return len(n.own) }
+
+// Have reports whether the node holds its own-flow packet seq.
+func (n *EpidemicNode) Have(seq uint32) bool {
+	_, ok := n.own[seq]
+	return ok
+}
+
+// HandleFrame implements mac.Handler.
+func (n *EpidemicNode) HandleFrame(f *packet.Frame, meta mac.RxMeta) {
+	switch f.Type {
+	case packet.TypeData:
+		n.onAPContact()
+		n.absorb(f.Flow, f.Seq, f.Payload, f.Src, true)
+	case packet.TypeResponse:
+		// Flooded relay frame: absorb it exactly like original data.
+		n.absorb(f.Flow, f.Seq, f.Payload, f.Src, false)
+	}
+}
+
+func (n *EpidemicNode) absorb(flow packet.NodeID, seq uint32, payload []byte, from packet.NodeID, fromAP bool) {
+	if from == n.cfg.ID {
+		return
+	}
+	if flow == n.cfg.ID {
+		if _, dup := n.own[seq]; dup {
+			return
+		}
+		n.own[seq] = payload
+		if fromAP {
+			n.stats.DataDirect++
+		} else {
+			n.stats.Recovered++
+			n.obs.OnRecovered(n.cfg.ID, seq, from, n.ctx.Now())
+		}
+		return
+	}
+	key := pushKey{flow: flow, seq: seq}
+	if _, dup := n.store[key]; dup {
+		return
+	}
+	n.store[key] = payload
+	n.order = append(n.order, key)
+	n.stats.Buffered++
+}
+
+func (n *EpidemicNode) onAPContact() {
+	if n.apTimeoutEv != nil {
+		n.apTimeoutEv.Cancel()
+	}
+	n.apTimeoutEv = n.ctx.Schedule(n.cfg.APTimeout, n.enterDark)
+	if n.dark {
+		n.dark = false
+		if n.pushEv != nil {
+			n.pushEv.Cancel()
+			n.pushEv = nil
+		}
+	}
+}
+
+func (n *EpidemicNode) enterDark() {
+	n.apTimeoutEv = nil
+	n.dark = true
+	// Desynchronise the flood start across nodes.
+	jitter := time.Duration(n.rng.Int63n(int64(n.cfg.PushInterval) + 1))
+	n.pushEv = n.ctx.Schedule(jitter, n.pushTick)
+}
+
+func (n *EpidemicNode) pushTick() {
+	n.pushEv = nil
+	if !n.dark {
+		return
+	}
+	if key, payload, ok := n.nextPush(); ok {
+		if err := n.port.Send(packet.NewResponse(n.cfg.ID, key.flow, key.seq, payload)); err == nil {
+			n.pushes[key]++
+			n.stats.Pushes++
+		}
+	}
+	n.pushEv = n.ctx.Schedule(n.cfg.PushInterval, n.pushTick)
+}
+
+// nextPush scans the round-robin order for the next packet still under
+// its push budget.
+func (n *EpidemicNode) nextPush() (pushKey, []byte, bool) {
+	if len(n.order) == 0 {
+		return pushKey{}, nil, false
+	}
+	for scanned := 0; scanned < len(n.order); scanned++ {
+		if n.cursor >= len(n.order) {
+			n.cursor = 0
+		}
+		key := n.order[n.cursor]
+		n.cursor++
+		if n.pushes[key] < n.cfg.MaxPushes {
+			return key, n.store[key], true
+		}
+	}
+	return pushKey{}, nil, false
+}
+
+// SortedStoreKeys returns the buffered foreign packets, for tests.
+func (n *EpidemicNode) SortedStoreKeys() []pushKey {
+	keys := append([]pushKey(nil), n.order...)
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].flow != keys[j].flow {
+			return keys[i].flow < keys[j].flow
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	return keys
+}
+
+var _ mac.Handler = (*EpidemicNode)(nil)

@@ -1,0 +1,556 @@
+package carq
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// Deps are the node's runtime dependencies.
+type Deps struct {
+	// Ctx is the simulation clock and timer source.
+	Ctx sim.Context
+	// Port transmits frames; *mac.Station satisfies it.
+	Port Port
+	// RNG drives beacon jitter. Pass a node-specific stream.
+	RNG *rand.Rand
+	// Observer receives protocol events; nil disables.
+	Observer Observer
+}
+
+// respKey identifies a scheduled cooperative response.
+type respKey struct {
+	dst packet.NodeID
+	seq uint32
+}
+
+// candidate is the mutable tracking record behind a Candidate.
+type candidate struct {
+	firstHeard time.Duration
+	lastHeard  time.Duration
+	rxPowerDBm float64
+}
+
+// Node is one vehicle running the Cooperative-ARQ protocol. It is driven
+// entirely by the simulation loop: frames arrive via HandleFrame and
+// timers via the sim context, so the type needs no internal locking.
+type Node struct {
+	cfg  Config
+	ctx  sim.Context
+	port Port
+	rng  *rand.Rand
+	obs  Observer
+
+	phase Phase
+
+	// Neighbour and cooperator state.
+	cands      map[packet.NodeID]*candidate
+	myCoops    []packet.NodeID                 // cooperators I advertise, in order
+	serveOrder map[packet.NodeID]int           // my response order for nodes that listed me
+	serveSeen  map[packet.NodeID]time.Duration // last HELLO from nodes I serve
+
+	// Own-flow reception state. ownMin/ownMax are the first and last
+	// sequence numbers received *directly* from the AP — the recovery
+	// range the paper prescribes.
+	have    map[uint32][]byte
+	ownMin  uint32
+	ownMax  uint32
+	ownSeen bool
+
+	// Packets buffered for other platoon members: flow -> seq -> payload.
+	forOthers map[packet.NodeID]map[uint32][]byte
+
+	// Timers.
+	helloEv     *sim.Event
+	apTimeoutEv *sim.Event
+	requestEv   *sim.Event
+
+	// Request cycling.
+	cursor int
+
+	// Scheduled cooperative responses, cancellable on overhear.
+	pending map[respKey]*sim.Event
+
+	// Frame-combining soft buffers (nil until first corrupted copy).
+	combiner map[combinerKey]*combinerState
+
+	stats Stats
+}
+
+// NewNode validates the configuration and returns a stopped node; call
+// Start to begin beaconing.
+func NewNode(cfg Config, deps Deps) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if deps.Ctx == nil {
+		return nil, fmt.Errorf("carq: nil sim context")
+	}
+	if deps.Port == nil {
+		return nil, fmt.Errorf("carq: nil port")
+	}
+	if deps.RNG == nil {
+		return nil, fmt.Errorf("carq: nil RNG")
+	}
+	if cfg.CandidateTTL == 0 {
+		cfg.CandidateTTL = 3 * cfg.HelloInterval
+	}
+	if cfg.Selection == nil {
+		cfg.Selection = SelectAll{}
+	}
+	if cfg.FCModulation.BitRate == 0 {
+		cfg.FCModulation = radio.DSSS1Mbps
+	}
+	obs := deps.Observer
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Node{
+		cfg:        cfg,
+		ctx:        deps.Ctx,
+		port:       deps.Port,
+		rng:        deps.RNG,
+		obs:        obs,
+		phase:      PhaseIdle,
+		cands:      make(map[packet.NodeID]*candidate),
+		serveOrder: make(map[packet.NodeID]int),
+		serveSeen:  make(map[packet.NodeID]time.Duration),
+		have:       make(map[uint32][]byte),
+		forOthers:  make(map[packet.NodeID]map[uint32][]byte),
+		pending:    make(map[respKey]*sim.Event),
+	}, nil
+}
+
+// MustNode is NewNode but panics on error, for scenario assembly.
+func MustNode(cfg Config, deps Deps) *Node {
+	n, err := NewNode(cfg, deps)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Start begins HELLO beaconing. It is a no-op when cooperation is
+// disabled (the no-coop baseline neither beacons nor cooperates).
+func (n *Node) Start() {
+	if !n.cfg.CoopEnabled {
+		return
+	}
+	n.scheduleHello(n.jitter(n.cfg.HelloInterval / 2))
+}
+
+// ID returns the node's address.
+func (n *Node) ID() packet.NodeID { return n.cfg.ID }
+
+// Phase returns the current protocol phase.
+func (n *Node) Phase() Phase { return n.phase }
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Have reports whether the node holds its own-flow packet seq (received
+// directly or recovered).
+func (n *Node) Have(seq uint32) bool {
+	_, ok := n.have[seq]
+	return ok
+}
+
+// Payload returns the stored payload for an own-flow packet.
+func (n *Node) Payload(seq uint32) ([]byte, bool) {
+	p, ok := n.have[seq]
+	return p, ok
+}
+
+// HaveCount returns the number of distinct own-flow packets held.
+func (n *Node) HaveCount() int { return len(n.have) }
+
+// OwnRange returns the first and last own-flow sequence received directly
+// from the AP; ok is false before any direct reception.
+func (n *Node) OwnRange() (first, last uint32, ok bool) {
+	return n.ownMin, n.ownMax, n.ownSeen
+}
+
+// recoveryLo returns the lower bound of the recovery range: the block's
+// known first sequence when configured, otherwise the node's own first
+// direct reception.
+func (n *Node) recoveryLo() uint32 {
+	if n.cfg.KnownFirstSeq > 0 && n.cfg.KnownFirstSeq < n.ownMin {
+		return n.cfg.KnownFirstSeq
+	}
+	return n.ownMin
+}
+
+// Missing returns the node's current missing list: every sequence in the
+// recovery range it does not hold, ascending.
+func (n *Node) Missing() []uint32 {
+	if !n.ownSeen {
+		return nil
+	}
+	var out []uint32
+	for s := n.recoveryLo(); s <= n.ownMax; s++ {
+		if _, ok := n.have[s]; !ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// MissingCount returns len(Missing()) without allocating.
+func (n *Node) MissingCount() int {
+	if !n.ownSeen {
+		return 0
+	}
+	c := 0
+	for s := n.recoveryLo(); s <= n.ownMax; s++ {
+		if _, ok := n.have[s]; !ok {
+			c++
+		}
+	}
+	return c
+}
+
+// Cooperators returns the node's current ordered cooperator list.
+func (n *Node) Cooperators() []packet.NodeID {
+	return append([]packet.NodeID(nil), n.myCoops...)
+}
+
+// BufferedFor returns how many packets the node holds for a platoon
+// member's flow.
+func (n *Node) BufferedFor(flow packet.NodeID) int { return len(n.forOthers[flow]) }
+
+// HandleFrame implements mac.Handler: the node's single entry point for
+// every frame its radio decodes (promiscuous).
+func (n *Node) HandleFrame(f *packet.Frame, meta mac.RxMeta) {
+	if meta.Corrupt {
+		n.onCorruptFrame(f, meta.SINRdB)
+		return
+	}
+	switch f.Type {
+	case packet.TypeData:
+		n.onData(f)
+	case packet.TypeHello:
+		n.onHello(f, meta)
+	case packet.TypeRequest:
+		n.onRequest(f)
+	case packet.TypeResponse:
+		n.onResponse(f)
+	}
+}
+
+// --- Reception phase ---------------------------------------------------
+
+func (n *Node) onData(f *packet.Frame) {
+	// Hearing any AP DATA frame means coverage: (re-)arm the AP timeout
+	// and make sure we are in the Reception phase. This also applies to
+	// the no-coop baseline, which still receives its own flow.
+	n.onAPContact()
+	if f.Flow == n.cfg.ID {
+		if _, dup := n.have[f.Seq]; dup {
+			n.stats.DataDuplicate++
+			return
+		}
+		n.have[f.Seq] = f.Payload
+		n.stats.DataDirect++
+		if !n.ownSeen {
+			n.ownMin, n.ownMax, n.ownSeen = f.Seq, f.Seq, true
+			return
+		}
+		if f.Seq < n.ownMin {
+			n.ownMin = f.Seq
+		}
+		if f.Seq > n.ownMax {
+			n.ownMax = f.Seq
+		}
+		return
+	}
+	if !n.cfg.CoopEnabled {
+		return
+	}
+	// Buffer for platoon members that recruited us (or for everyone,
+	// under the BufferForAll ablation).
+	if _, serving := n.serveOrder[f.Flow]; serving || n.cfg.BufferForAll {
+		n.bufferFor(f.Flow, f.Seq, f.Payload)
+	}
+}
+
+func (n *Node) bufferFor(flow packet.NodeID, seq uint32, payload []byte) {
+	m, ok := n.forOthers[flow]
+	if !ok {
+		m = make(map[uint32][]byte)
+		n.forOthers[flow] = m
+	}
+	if _, dup := m[seq]; dup {
+		return
+	}
+	m[seq] = payload
+	n.stats.DataBuffered++
+}
+
+func (n *Node) onAPContact() {
+	if n.apTimeoutEv != nil {
+		n.apTimeoutEv.Cancel()
+	}
+	n.apTimeoutEv = n.ctx.Schedule(n.cfg.APTimeout, n.onAPTimeout)
+	if n.phase != PhaseReception {
+		n.setPhase(PhaseReception)
+		// Entering coverage ends the requesting cycle (the paper: a node
+		// stops issuing requests when it enters the range of a new AP).
+		n.stopRequesting()
+	}
+}
+
+func (n *Node) onAPTimeout() {
+	n.apTimeoutEv = nil
+	if n.phase != PhaseReception {
+		return
+	}
+	n.setPhase(PhaseCoopARQ)
+	if !n.cfg.CoopEnabled {
+		return
+	}
+	if n.MissingCount() == 0 {
+		n.obs.OnComplete(n.cfg.ID, n.ctx.Now())
+		return
+	}
+	n.cursor = 0
+	n.stats.RequestCyclesStarted++
+	n.scheduleRequest(0)
+}
+
+func (n *Node) setPhase(p Phase) {
+	if n.phase == p {
+		return
+	}
+	from := n.phase
+	n.phase = p
+	n.stats.PhaseTransitions++
+	n.obs.OnPhaseChange(n.cfg.ID, from, p, n.ctx.Now())
+}
+
+// --- HELLO handling and cooperator management ---------------------------
+
+func (n *Node) onHello(f *packet.Frame, meta mac.RxMeta) {
+	if !n.cfg.CoopEnabled || f.Src == n.cfg.ID {
+		return
+	}
+	now := n.ctx.Now()
+	c, ok := n.cands[f.Src]
+	if !ok {
+		c = &candidate{firstHeard: now}
+		n.cands[f.Src] = c
+	}
+	c.lastHeard = now
+	c.rxPowerDBm = meta.RxPowerDBm
+	n.refreshCooperators()
+
+	// Second HELLO function: the sender's list tells us whether we must
+	// act as its cooperator, and with which response order.
+	idx := -1
+	for i, id := range f.List {
+		if id == n.cfg.ID {
+			idx = i
+			break
+		}
+	}
+	if idx >= 0 {
+		n.serveOrder[f.Src] = idx
+		n.serveSeen[f.Src] = now
+	} else {
+		delete(n.serveOrder, f.Src)
+		delete(n.serveSeen, f.Src)
+	}
+}
+
+// refreshCooperators prunes stale candidates and re-runs the selection
+// policy.
+func (n *Node) refreshCooperators() {
+	now := n.ctx.Now()
+	ids := make([]packet.NodeID, 0, len(n.cands))
+	for id := range n.cands {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cands := make([]Candidate, 0, len(ids))
+	for _, id := range ids {
+		c := n.cands[id]
+		if now-c.lastHeard > n.cfg.CandidateTTL {
+			delete(n.cands, id)
+			continue
+		}
+		cands = append(cands, Candidate{
+			ID:         id,
+			FirstHeard: c.firstHeard,
+			LastHeard:  c.lastHeard,
+			RxPowerDBm: c.rxPowerDBm,
+		})
+	}
+	n.myCoops = n.cfg.Selection.Select(cands)
+
+	// Also expire serving relationships whose HELLOs went silent.
+	for id, seen := range n.serveSeen {
+		if now-seen > n.cfg.CandidateTTL {
+			delete(n.serveOrder, id)
+			delete(n.serveSeen, id)
+		}
+	}
+}
+
+func (n *Node) scheduleHello(d time.Duration) {
+	n.helloEv = n.ctx.Schedule(d, n.helloTick)
+}
+
+func (n *Node) helloTick() {
+	n.refreshCooperators()
+	if err := n.port.Send(packet.NewHello(n.cfg.ID, n.myCoops)); err == nil {
+		n.stats.HellosSent++
+	}
+	n.scheduleHello(n.jitter(n.cfg.HelloInterval))
+}
+
+// jitter returns d scaled uniformly into [0.9d, 1.1d].
+func (n *Node) jitter(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*n.rng.Float64()))
+}
+
+// --- Cooperative-ARQ phase: requesting ----------------------------------
+
+func (n *Node) scheduleRequest(d time.Duration) {
+	n.requestEv = n.ctx.Schedule(d, n.issueRequest)
+}
+
+func (n *Node) stopRequesting() {
+	if n.requestEv != nil {
+		n.requestEv.Cancel()
+		n.requestEv = nil
+	}
+}
+
+func (n *Node) issueRequest() {
+	n.requestEv = nil
+	if n.phase != PhaseCoopARQ {
+		return
+	}
+	missing := n.Missing()
+	if len(missing) == 0 {
+		n.obs.OnComplete(n.cfg.ID, n.ctx.Now())
+		return
+	}
+	if n.cursor >= len(missing) {
+		// End of the (actualised, shorter) list: restart from the top,
+		// as the paper prescribes.
+		n.cursor = 0
+	}
+	var seqs []uint32
+	if n.cfg.BatchRequests {
+		end := n.cursor + n.cfg.MaxBatch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		seqs = missing[n.cursor:end]
+		n.cursor = end
+	} else {
+		seqs = missing[n.cursor : n.cursor+1]
+		n.cursor++
+	}
+	if err := n.port.Send(packet.NewRequest(n.cfg.ID, seqs)); err == nil {
+		n.stats.RequestsSent++
+		n.stats.RequestSeqsSent += uint64(len(seqs))
+	}
+	n.scheduleRequest(n.responseWindow(len(seqs)))
+}
+
+// responseWindow sizes the quiet period after a REQUEST: enough for every
+// cooperator order to take its back-off slot and for the expected
+// responses to air.
+func (n *Node) responseWindow(requested int) time.Duration {
+	orders := len(n.myCoops)
+	if orders == 0 {
+		orders = 1
+	}
+	return time.Duration(orders)*n.cfg.CoopSlot +
+		time.Duration(requested)*n.cfg.PerResponseTime +
+		n.cfg.RequestSpacing
+}
+
+// --- Cooperative-ARQ phase: responding ----------------------------------
+
+func (n *Node) onRequest(f *packet.Frame) {
+	if !n.cfg.CoopEnabled || f.Src == n.cfg.ID {
+		return
+	}
+	order, serving := n.serveOrder[f.Src]
+	if !serving {
+		return
+	}
+	buf := n.forOthers[f.Src]
+	if len(buf) == 0 {
+		return
+	}
+	held := 0
+	for _, seq := range f.Seqs {
+		payload, ok := buf[seq]
+		if !ok {
+			continue
+		}
+		key := respKey{dst: f.Src, seq: seq}
+		if _, already := n.pending[key]; already {
+			continue
+		}
+		delay := time.Duration(order)*n.cfg.CoopSlot +
+			time.Duration(held)*n.cfg.PerResponseTime
+		held++
+		seq, payload := seq, payload
+		n.pending[key] = n.ctx.Schedule(delay, func() {
+			n.sendResponse(f.Src, seq, payload)
+		})
+	}
+}
+
+func (n *Node) sendResponse(dst packet.NodeID, seq uint32, payload []byte) {
+	delete(n.pending, respKey{dst: dst, seq: seq})
+	if err := n.port.Send(packet.NewResponse(n.cfg.ID, dst, seq, payload)); err == nil {
+		n.stats.ResponsesSent++
+	}
+}
+
+func (n *Node) onResponse(f *packet.Frame) {
+	if f.Dst == n.cfg.ID {
+		if _, dup := n.have[f.Seq]; dup {
+			n.stats.RecoveredDuplicate++
+			return
+		}
+		n.have[f.Seq] = f.Payload
+		n.stats.Recovered++
+		n.obs.OnRecovered(n.cfg.ID, f.Seq, f.Src, n.ctx.Now())
+		if n.phase == PhaseCoopARQ && n.MissingCount() == 0 {
+			n.stopRequesting()
+			n.obs.OnComplete(n.cfg.ID, n.ctx.Now())
+		}
+		return
+	}
+	if !n.cfg.CoopEnabled {
+		return
+	}
+	// Overheard response to someone else: suppress our own pending
+	// response for the same packet — another cooperator got there first.
+	key := respKey{dst: f.Dst, seq: f.Seq}
+	if ev, ok := n.pending[key]; ok {
+		if ev.Cancel() {
+			n.stats.ResponsesSuppressed++
+		}
+		delete(n.pending, key)
+	}
+	if n.cfg.BufferOverheardResponses {
+		if _, serving := n.serveOrder[f.Dst]; serving || n.cfg.BufferForAll {
+			n.bufferFor(f.Dst, f.Seq, f.Payload)
+		}
+	}
+}
+
+var _ mac.Handler = (*Node)(nil)

@@ -1,0 +1,58 @@
+// Package core is the front door to the paper's primary contribution: the
+// Cooperative ARQ protocol for delay-tolerant vehicular networks. The
+// implementation lives in package carq; core re-exports its public
+// surface under the repository's canonical layout so downstream code can
+// depend on internal/core without caring how the protocol modules are
+// factored internally.
+package core
+
+import (
+	"repro/internal/carq"
+	"repro/internal/packet"
+)
+
+// Protocol types re-exported from the implementation package.
+type (
+	// Node is a vehicle running the Cooperative-ARQ protocol.
+	Node = carq.Node
+	// Config holds the protocol parameters.
+	Config = carq.Config
+	// Deps are a node's runtime dependencies.
+	Deps = carq.Deps
+	// Phase is the protocol operating phase.
+	Phase = carq.Phase
+	// Port is the node's transmit interface.
+	Port = carq.Port
+	// Observer receives protocol-level events.
+	Observer = carq.Observer
+	// NopObserver ignores all events.
+	NopObserver = carq.NopObserver
+	// Stats are cumulative protocol counters.
+	Stats = carq.Stats
+	// Candidate describes a one-hop neighbour.
+	Candidate = carq.Candidate
+	// Selection orders a node's cooperators.
+	Selection = carq.Selection
+	// SelectAll recruits every one-hop neighbour (the prototype).
+	SelectAll = carq.SelectAll
+	// SelectBestK recruits the K strongest neighbours.
+	SelectBestK = carq.SelectBestK
+	// SelectFreshestK recruits the K most recently heard neighbours.
+	SelectFreshestK = carq.SelectFreshestK
+)
+
+// Protocol phases.
+const (
+	PhaseIdle      = carq.PhaseIdle
+	PhaseReception = carq.PhaseReception
+	PhaseCoopARQ   = carq.PhaseCoopARQ
+)
+
+// NewNode validates cfg and returns a stopped node; call Start to begin.
+func NewNode(cfg Config, deps Deps) (*Node, error) { return carq.NewNode(cfg, deps) }
+
+// MustNode is NewNode but panics on error.
+func MustNode(cfg Config, deps Deps) *Node { return carq.MustNode(cfg, deps) }
+
+// DefaultConfig returns the canonical protocol parameters for a node.
+func DefaultConfig(id packet.NodeID) Config { return carq.DefaultConfig(id) }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+type nullPort struct{}
+
+func (nullPort) Send(*packet.Frame) error { return nil }
+
+// TestFacadeBuildsWorkingNode checks the re-exported surface drives a real
+// protocol node end to end.
+func TestFacadeBuildsWorkingNode(t *testing.T) {
+	engine := sim.New()
+	node, err := NewNode(DefaultConfig(1), Deps{
+		Ctx:  engine,
+		Port: nullPort{},
+		RNG:  sim.Stream(1, "core"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+	if node.Phase() != PhaseIdle {
+		t.Fatalf("phase = %v", node.Phase())
+	}
+	engine.Schedule(time.Second, func() {
+		node.HandleFrame(packet.NewData(100, 1, 3, []byte("x")), mac.RxMeta{})
+	})
+	if err := engine.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if node.Phase() != PhaseReception {
+		t.Fatalf("phase = %v, want reception", node.Phase())
+	}
+	if !node.Have(3) {
+		t.Fatal("packet not stored")
+	}
+}
+
+func TestFacadeSelections(t *testing.T) {
+	cands := []Candidate{
+		{ID: 2, FirstHeard: time.Second, LastHeard: 5 * time.Second, RxPowerDBm: -60},
+		{ID: 3, FirstHeard: 2 * time.Second, LastHeard: 9 * time.Second, RxPowerDBm: -50},
+	}
+	if got := (SelectAll{}).Select(cands); len(got) != 2 || got[0] != 2 {
+		t.Fatalf("SelectAll = %v", got)
+	}
+	if got := (SelectBestK{K: 1}).Select(cands); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("SelectBestK = %v", got)
+	}
+	if got := (SelectFreshestK{K: 1}).Select(cands); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("SelectFreshestK = %v", got)
+	}
+}
+
+func TestMustNodePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNode did not panic")
+		}
+	}()
+	MustNode(Config{}, Deps{})
+}

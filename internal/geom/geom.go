@@ -1,0 +1,168 @@
+// Package geom provides the small amount of 2-D geometry the mobility and
+// radio models need: points, vectors, and arc-length parameterised
+// polylines. Coordinates are metres in a flat local frame.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position in the plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vec) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Vec is a displacement in the plane, in metres.
+type Vec struct {
+	DX, DY float64
+}
+
+// Len returns the Euclidean norm of v.
+func (v Vec) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vec) Scale(k float64) Vec { return Vec{v.DX * k, v.DY * k} }
+
+// Unit returns the unit vector in the direction of v. The unit vector of
+// the zero vector is the zero vector.
+func (v Vec) Unit() Vec {
+	l := v.Len()
+	if l == 0 {
+		return Vec{}
+	}
+	return Vec{v.DX / l, v.DY / l}
+}
+
+// Lerp linearly interpolates between p and q; t=0 gives p, t=1 gives q.
+// t outside [0,1] extrapolates.
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Polyline is an open chain of segments with an arc-length parameterisation.
+// It is immutable after construction.
+type Polyline struct {
+	pts []Point
+	// cum[i] is the arc length from pts[0] to pts[i]; cum[len-1] is the
+	// total length.
+	cum []float64
+}
+
+// NewPolyline builds a polyline through the given points. It requires at
+// least two points; consecutive duplicate points are allowed (they
+// contribute zero length).
+func NewPolyline(pts ...Point) (*Polyline, error) {
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("geom: polyline needs >= 2 points, got %d", len(pts))
+	}
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	cum := make([]float64, len(cp))
+	for i := 1; i < len(cp); i++ {
+		cum[i] = cum[i-1] + cp[i].Dist(cp[i-1])
+	}
+	if cum[len(cum)-1] == 0 {
+		return nil, fmt.Errorf("geom: polyline has zero total length")
+	}
+	return &Polyline{pts: cp, cum: cum}, nil
+}
+
+// MustPolyline is NewPolyline but panics on error; for static scenario
+// geometry known to be valid.
+func MustPolyline(pts ...Point) *Polyline {
+	pl, err := NewPolyline(pts...)
+	if err != nil {
+		panic(err)
+	}
+	return pl
+}
+
+// Length returns the total arc length in metres.
+func (pl *Polyline) Length() float64 { return pl.cum[len(pl.cum)-1] }
+
+// Points returns a copy of the polyline's vertices.
+func (pl *Polyline) Points() []Point {
+	cp := make([]Point, len(pl.pts))
+	copy(cp, pl.pts)
+	return cp
+}
+
+// At returns the point at arc length s from the start. s is clamped to
+// [0, Length].
+func (pl *Polyline) At(s float64) Point {
+	total := pl.Length()
+	switch {
+	case s <= 0:
+		return pl.pts[0]
+	case s >= total:
+		return pl.pts[len(pl.pts)-1]
+	}
+	// Binary search for the segment containing s.
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := pl.cum[hi] - pl.cum[lo]
+	if segLen == 0 {
+		return pl.pts[lo]
+	}
+	t := (s - pl.cum[lo]) / segLen
+	return Lerp(pl.pts[lo], pl.pts[hi], t)
+}
+
+// AtLooped returns the point at arc length s on the closed loop formed by
+// joining the last vertex back to the first is NOT implied; the polyline is
+// treated as a cycle of its own length: s wraps modulo Length. Callers that
+// want a closed circuit should pass a polyline whose last point equals its
+// first.
+func (pl *Polyline) AtLooped(s float64) Point {
+	total := pl.Length()
+	s = math.Mod(s, total)
+	if s < 0 {
+		s += total
+	}
+	return pl.At(s)
+}
+
+// Heading returns the unit direction of travel at arc length s (the
+// direction of the segment containing s). At exact vertices it returns the
+// direction of the following segment.
+func (pl *Polyline) Heading(s float64) Vec {
+	total := pl.Length()
+	if s < 0 {
+		s = 0
+	}
+	if s >= total {
+		s = total
+	}
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return pl.pts[hi].Sub(pl.pts[lo]).Unit()
+}

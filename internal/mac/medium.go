@@ -1,0 +1,329 @@
+package mac
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+)
+
+// PositionFunc reports a station's position at a virtual time. Mobility
+// models provide these.
+type PositionFunc func(now time.Duration) geom.Point
+
+// RxMeta carries the PHY-level context of a received frame.
+type RxMeta struct {
+	At         time.Duration
+	RxPowerDBm float64
+	SINRdB     float64
+	// Corrupt marks a frame that failed the channel but was delivered
+	// anyway because the station enables DeliverCorrupt; its payload is
+	// intact at the simulation level, and SINRdB tells a frame-combining
+	// receiver how much soft information the copy carries.
+	Corrupt bool
+}
+
+// Handler consumes frames delivered by a station's radio. Stations are
+// promiscuous: every successfully decoded frame is delivered, whatever its
+// destination, mirroring the prototype's monitor-mode NICs.
+type Handler interface {
+	HandleFrame(f *packet.Frame, meta RxMeta)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(f *packet.Frame, meta RxMeta)
+
+// HandleFrame implements Handler.
+func (fn HandlerFunc) HandleFrame(f *packet.Frame, meta RxMeta) { fn(f, meta) }
+
+// Tracer observes MAC/PHY events; all methods may be called with high
+// frequency, so implementations should be cheap. Any method may be a
+// no-op.
+type Tracer interface {
+	OnTx(src packet.NodeID, f *packet.Frame, start, airtime time.Duration)
+	OnRx(dst packet.NodeID, f *packet.Frame, meta RxMeta)
+	OnDrop(dst packet.NodeID, f *packet.Frame, at time.Duration, reason DropReason)
+}
+
+// nopTracer is used when the caller passes a nil tracer.
+type nopTracer struct{}
+
+func (nopTracer) OnTx(packet.NodeID, *packet.Frame, time.Duration, time.Duration) {}
+func (nopTracer) OnRx(packet.NodeID, *packet.Frame, RxMeta)                       {}
+func (nopTracer) OnDrop(packet.NodeID, *packet.Frame, time.Duration, DropReason)  {}
+
+// transmission is one frame on the air.
+type transmission struct {
+	src     *Station
+	frame   *packet.Frame
+	wire    []byte
+	mod     radio.Modulation
+	start   time.Duration
+	end     time.Duration
+	rxPower map[packet.NodeID]float64 // mean rx power at each other station, sampled at start
+}
+
+func (t *transmission) overlaps(s, e time.Duration) bool {
+	return t.start < e && t.end > s
+}
+
+// Medium is the shared wireless channel. It owns the set of stations, the
+// list of in-flight transmissions, and the delivery logic.
+type Medium struct {
+	engine   *sim.Engine
+	channel  *radio.Channel
+	tracer   Tracer
+	stations map[packet.NodeID]*Station
+	order    []*Station // deterministic iteration order
+	active   []*transmission
+	// history keeps recently ended transmissions long enough to compute
+	// interference for frames that overlapped them.
+	history []*transmission
+}
+
+// NewMedium creates a medium over the given engine and channel. A nil
+// tracer disables tracing.
+func NewMedium(engine *sim.Engine, channel *radio.Channel, tracer Tracer) *Medium {
+	if tracer == nil {
+		tracer = nopTracer{}
+	}
+	return &Medium{
+		engine:   engine,
+		channel:  channel,
+		tracer:   tracer,
+		stations: make(map[packet.NodeID]*Station),
+	}
+}
+
+// Engine returns the simulation engine driving this medium.
+func (m *Medium) Engine() *sim.Engine { return m.engine }
+
+// AddStation registers a station. The id must be unique and pos non-nil;
+// handler may be nil for transmit-only stations.
+func (m *Medium) AddStation(id packet.NodeID, pos PositionFunc, handler Handler, cfg Config) (*Station, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if pos == nil {
+		return nil, fmt.Errorf("mac: station %v has nil position function", id)
+	}
+	if _, dup := m.stations[id]; dup {
+		return nil, fmt.Errorf("mac: duplicate station id %v", id)
+	}
+	if id == packet.Broadcast {
+		return nil, fmt.Errorf("mac: station id %v is reserved", id)
+	}
+	s := &Station{
+		id:      id,
+		medium:  m,
+		pos:     pos,
+		handler: handler,
+		cfg:     cfg,
+		rng:     sim.Stream(int64(m.channel.Config().Seed), "mac-backoff-"+id.String()),
+	}
+	m.stations[id] = s
+	m.order = append(m.order, s)
+	return s, nil
+}
+
+// Station returns the registered station with the given id, or nil.
+func (m *Medium) Station(id packet.NodeID) *Station { return m.stations[id] }
+
+// busyFor reports whether any in-flight transmission is sensed above the
+// station's carrier-sense threshold (or the station itself is
+// transmitting).
+func (m *Medium) busyFor(s *Station) bool {
+	for _, tx := range m.active {
+		if tx.src == s {
+			return true
+		}
+		if tx.rxPower[s.id] >= s.cfg.CSThresholdDBm {
+			return true
+		}
+	}
+	return false
+}
+
+// startTransmission puts a frame on the air from station src.
+func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
+	now := m.engine.Now()
+	mod := src.cfg.Modulation
+	airtime := secondsToDuration(mod.Airtime(len(wire)))
+	tx := &transmission{
+		src:     src,
+		frame:   f,
+		wire:    wire,
+		mod:     mod,
+		start:   now,
+		end:     now + airtime,
+		rxPower: make(map[packet.NodeID]float64, len(m.order)-1),
+	}
+	srcPos := src.pos(now)
+	for _, rx := range m.order {
+		if rx == src {
+			continue
+		}
+		tx.rxPower[rx.id] = m.channel.MeanRxPowerDBm(src.id, rx.id, srcPos, rx.pos(now), now)
+	}
+	m.active = append(m.active, tx)
+	m.tracer.OnTx(src.id, f, now, airtime)
+
+	// Stations that sense the new transmission abort their contention and
+	// wait for the medium to free.
+	for _, s := range m.order {
+		if s == src {
+			continue
+		}
+		if tx.rxPower[s.id] >= s.cfg.CSThresholdDBm {
+			s.onMediumBusy()
+		}
+	}
+
+	m.engine.Schedule(airtime, func() { m.endTransmission(tx) })
+}
+
+// endTransmission resolves delivery of tx at each receiver and wakes
+// stations that were waiting for an idle medium.
+func (m *Medium) endTransmission(tx *transmission) {
+	now := m.engine.Now()
+	// Remove from active, keep for interference history.
+	for i, a := range m.active {
+		if a == tx {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	m.history = append(m.history, tx)
+	m.pruneHistory(now)
+
+	for _, rx := range m.order {
+		if rx == tx.src {
+			continue
+		}
+		m.deliver(tx, rx)
+	}
+
+	tx.src.onOwnTxEnd()
+	// The medium may have become idle for stations with pending traffic.
+	for _, s := range m.order {
+		if s != tx.src && s.wantsMedium() {
+			s.onMediumMaybeIdle()
+		}
+	}
+}
+
+// deliver decides whether receiver rx successfully captured tx.
+func (m *Medium) deliver(tx *transmission, rx *Station) {
+	now := m.engine.Now()
+	// Half-duplex: a station transmitting during any part of the frame
+	// cannot receive it.
+	if m.stationTransmittedDuring(rx, tx.start, tx.end) {
+		m.tracer.OnDrop(rx.id, tx.frame, now, DropHalfDuplex)
+		return
+	}
+
+	rxPower := tx.rxPower[rx.id]
+	interference := m.interferenceAt(rx, tx)
+
+	noise := m.channel.NoiseFloorDBm()
+	if interference > noise-10 {
+		// Non-negligible concurrent energy: same-band interference is
+		// not noise-like for DSSS, so apply a capture rule — the frame
+		// survives only if it dominates the interferers by the capture
+		// margin.
+		if rxPower-interference < m.channel.CaptureThresholdDB() {
+			m.tracer.OnDrop(rx.id, tx.frame, now, DropCollision)
+			return
+		}
+	}
+
+	decision := m.channel.DecideFrame(rxPower, interference, tx.mod, len(tx.wire))
+	meta := RxMeta{At: now, RxPowerDBm: decision.RxPowerDBm, SINRdB: decision.SINRdB}
+	if !decision.Received {
+		m.tracer.OnDrop(rx.id, tx.frame, now, DropChannel)
+		if rx.cfg.DeliverCorrupt && rx.handler != nil {
+			if f, err := packet.Decode(tx.wire); err == nil {
+				meta.Corrupt = true
+				rx.handler.HandleFrame(f, meta)
+			}
+		}
+		return
+	}
+	// Decode from wire bytes: the CRC is part of the model, and protocol
+	// layers receive an independent copy of the frame.
+	f, err := packet.Decode(tx.wire)
+	if err != nil {
+		m.tracer.OnDrop(rx.id, tx.frame, now, DropDecode)
+		return
+	}
+	m.tracer.OnRx(rx.id, f, meta)
+	if rx.handler != nil {
+		rx.handler.HandleFrame(f, meta)
+	}
+}
+
+// interferenceAt power-sums every other transmission that overlapped tx at
+// receiver rx, in dBm. Returns -Inf when there is none.
+func (m *Medium) interferenceAt(rx *Station, tx *transmission) float64 {
+	total := math.Inf(-1)
+	consider := func(other *transmission) {
+		if other == tx || other.src == rx {
+			return
+		}
+		if !other.overlaps(tx.start, tx.end) {
+			return
+		}
+		if p, ok := other.rxPower[rx.id]; ok {
+			total = radio.CombineDBm(total, p)
+		}
+	}
+	for _, other := range m.active {
+		consider(other)
+	}
+	for _, other := range m.history {
+		consider(other)
+	}
+	return total
+}
+
+// stationTransmittedDuring reports whether s had a transmission of its own
+// overlapping [start, end].
+func (m *Medium) stationTransmittedDuring(s *Station, start, end time.Duration) bool {
+	for _, tx := range m.active {
+		if tx.src == s && tx.overlaps(start, end) {
+			return true
+		}
+	}
+	for _, tx := range m.history {
+		if tx.src == s && tx.overlaps(start, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// pruneHistory drops ended transmissions that can no longer overlap
+// anything still on the air or future frames.
+func (m *Medium) pruneHistory(now time.Duration) {
+	const retention = 100 * time.Millisecond
+	cutoff := now - retention
+	keep := m.history[:0]
+	for _, tx := range m.history {
+		if tx.end >= cutoff {
+			keep = append(keep, tx)
+		}
+	}
+	// Zero the tail so dropped transmissions can be collected.
+	for i := len(keep); i < len(m.history); i++ {
+		m.history[i] = nil
+	}
+	m.history = keep
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

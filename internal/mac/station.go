@@ -1,0 +1,151 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Station is a network interface attached to the shared medium. It runs a
+// simplified DCF for broadcast traffic: wait for an idle medium, defer
+// DIFS plus a uniform random back-off, then transmit. There are no MAC
+// acknowledgements or retransmissions (the paper's prototype disabled
+// them), so the contention window never doubles.
+//
+// One deliberate simplification versus full DCF: when the medium turns
+// busy during the back-off countdown, the station re-draws its back-off
+// after the medium frees instead of freezing the counter. For the low
+// contention levels of the reproduced scenarios (an AP at ~15 frames/s
+// plus sparse protocol beacons) the difference is negligible; the property
+// that matters — ordered cooperators rarely collide — is preserved.
+type Station struct {
+	id      packet.NodeID
+	medium  *Medium
+	pos     PositionFunc
+	handler Handler
+	cfg     Config
+	rng     *rand.Rand
+
+	queue        []*queued
+	transmitting bool
+	// pendingTx is the scheduled end-of-contention event, nil when the
+	// station is not contending.
+	pendingTx *sim.Event
+	// waiting marks that the station has traffic but the medium was busy;
+	// it retries when the medium may have become idle.
+	waiting bool
+
+	// sent counts frames put on the air, for diagnostics.
+	sent uint64
+	// dropped counts frames rejected at enqueue time (full queue).
+	dropped uint64
+}
+
+type queued struct {
+	frame *packet.Frame
+	wire  []byte
+}
+
+// ID returns the station's node ID.
+func (s *Station) ID() packet.NodeID { return s.id }
+
+// Sent returns the number of frames this station has transmitted.
+func (s *Station) Sent() uint64 { return s.sent }
+
+// QueueLen returns the number of frames waiting for the medium.
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// SetHandler installs the receive handler; protocol layers that need a
+// reference to their own station call this after AddStation.
+func (s *Station) SetHandler(h Handler) { s.handler = h }
+
+// Send encodes the frame and enqueues it for transmission. It returns an
+// error if the frame does not encode or the queue is full.
+func (s *Station) Send(f *packet.Frame) error {
+	wire, err := f.Encode()
+	if err != nil {
+		return fmt.Errorf("mac: station %v: %w", s.id, err)
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.dropped++
+		return fmt.Errorf("mac: station %v: queue full (%d frames)", s.id, len(s.queue))
+	}
+	s.queue = append(s.queue, &queued{frame: f, wire: wire})
+	s.tryContend()
+	return nil
+}
+
+// wantsMedium reports whether the station has traffic waiting on medium
+// availability.
+func (s *Station) wantsMedium() bool {
+	return len(s.queue) > 0 && !s.transmitting && s.pendingTx == nil
+}
+
+// tryContend starts the DIFS+back-off countdown if the station has
+// traffic, is not already contending or transmitting, and senses an idle
+// medium. Otherwise it flags itself to be woken when the medium frees.
+func (s *Station) tryContend() {
+	if len(s.queue) == 0 || s.transmitting || s.pendingTx != nil {
+		return
+	}
+	if s.medium.busyFor(s) {
+		s.waiting = true
+		return
+	}
+	s.waiting = false
+	slots := 0
+	if s.cfg.CWMin > 0 {
+		slots = s.rng.Intn(s.cfg.CWMin + 1)
+	}
+	defer_ := s.cfg.DIFS + time.Duration(slots)*s.cfg.SlotTime
+	s.pendingTx = s.medium.engine.Schedule(defer_, s.beginTx)
+}
+
+// beginTx fires at the end of the contention period.
+func (s *Station) beginTx() {
+	s.pendingTx = nil
+	if len(s.queue) == 0 {
+		return
+	}
+	// The medium may have turned busy in the same instant (tie-breaking);
+	// re-check before seizing it.
+	if s.medium.busyFor(s) {
+		s.waiting = true
+		return
+	}
+	q := s.queue[0]
+	s.queue = s.queue[1:]
+	s.transmitting = true
+	s.sent++
+	s.medium.startTransmission(s, q.frame, q.wire)
+}
+
+// onMediumBusy is called by the medium when a transmission starts that
+// this station can sense: abort contention and wait for idle.
+func (s *Station) onMediumBusy() {
+	if s.pendingTx != nil {
+		s.pendingTx.Cancel()
+		s.pendingTx = nil
+	}
+	if len(s.queue) > 0 && !s.transmitting {
+		s.waiting = true
+	}
+}
+
+// onMediumMaybeIdle is called by the medium when a transmission ends and
+// this station has pending traffic.
+func (s *Station) onMediumMaybeIdle() {
+	if s.waiting || s.wantsMedium() {
+		s.tryContend()
+	}
+}
+
+// onOwnTxEnd is called by the medium when this station's transmission
+// finishes; the station may contend for its next queued frame.
+func (s *Station) onOwnTxEnd() {
+	s.transmitting = false
+	s.tryContend()
+}

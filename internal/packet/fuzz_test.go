@@ -1,0 +1,52 @@
+package packet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics on arbitrary bytes and that
+// anything it accepts re-encodes to the identical wire form (a canonical
+// codec).
+func FuzzDecode(f *testing.F) {
+	seed := [][]byte{
+		nil,
+		{0x01},
+		make([]byte, Overhead),
+	}
+	if b, err := NewData(1, 2, 7, []byte("payload")).Encode(); err == nil {
+		seed = append(seed, b)
+	}
+	if b, err := NewHello(3, []NodeID{1, 2}).Encode(); err == nil {
+		seed = append(seed, b)
+	}
+	if b, err := NewRequest(4, []uint32{9, 10}).Encode(); err == nil {
+		seed = append(seed, b)
+	}
+	if b, err := NewResponse(5, 6, 11, []byte("x")).Encode(); err == nil {
+		seed = append(seed, b)
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v (%+v)", err, frame)
+		}
+		if !reflect.DeepEqual(re, data) {
+			t.Fatalf("codec not canonical:\n in: %x\nout: %x", data, re)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(frame, again) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", frame, again)
+		}
+	})
+}

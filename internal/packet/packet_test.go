@@ -1,0 +1,372 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	f := NewData(1, 2, 42, payload)
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(b) != f.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(b), f.WireSize())
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", f, got)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	f := NewHello(3, []NodeID{1, 2, 7})
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", f, got)
+	}
+	if got.Dst != Broadcast {
+		t.Fatalf("HELLO Dst = %v, want broadcast", got.Dst)
+	}
+}
+
+func TestHelloEmptyCooperatorList(t *testing.T) {
+	f := NewHello(3, nil)
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.List) != 0 {
+		t.Fatalf("List = %v, want empty", got.List)
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	f := NewRequest(5, []uint32{10, 20, 4000000000})
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", f, got)
+	}
+	if got.Flow != got.Src {
+		t.Fatalf("REQUEST Flow = %v, want Src %v", got.Flow, got.Src)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	f := NewResponse(2, 1, 99, []byte("recovered data"))
+	b, err := f.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", f, got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := NewData(1, 2, 1, []byte("x")).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := Decode(valid[:10]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("corrupted body", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[5] ^= 0xFF
+		if _, err := Decode(b); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+	})
+	t.Run("corrupted trailer", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[len(b)-1] ^= 0xFF
+		if _, err := Decode(b); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("err = %v, want ErrBadChecksum", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		f := NewData(1, 2, 1, nil)
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[0] = 9
+		// Re-CRC so the version check is what fails.
+		b = recrc(b)
+		if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("err = %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("bad type", func(t *testing.T) {
+		b, err := NewData(1, 2, 1, nil).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[1] = 200
+		b = recrc(b)
+		if _, err := Decode(b); !errors.Is(err, ErrBadType) {
+			t.Fatalf("err = %v, want ErrBadType", err)
+		}
+	})
+	t.Run("truncated list", func(t *testing.T) {
+		b, err := NewHello(1, []NodeID{2, 3}).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Claim 3 cooperators but carry 2.
+		b[13] = 3
+		b = recrc(b)
+		if _, err := Decode(b); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("list on DATA", func(t *testing.T) {
+		b, err := NewData(1, 2, 1, nil).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[13] = 1
+		b = recrc(b)
+		if _, err := Decode(b); !errors.Is(err, ErrBadList) {
+			t.Fatalf("err = %v, want ErrBadList", err)
+		}
+	})
+	t.Run("payload length mismatch", func(t *testing.T) {
+		b, err := NewData(1, 2, 1, []byte("abc")).Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[15] = 2 // claim 2 bytes, carry 3
+		b = recrc(b)
+		if _, err := Decode(b); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("err = %v, want ErrTruncated", err)
+		}
+	})
+}
+
+// recrc recomputes the trailer CRC after a deliberate mutation so the test
+// exercises the structural validation rather than the checksum.
+func recrc(b []byte) []byte {
+	body := b[:len(b)-trailerLen]
+	out := append([]byte(nil), body...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+}
+
+func TestEncodeValidation(t *testing.T) {
+	t.Run("oversize payload", func(t *testing.T) {
+		f := NewData(1, 2, 1, make([]byte, MaxPayload+1))
+		if _, err := f.Encode(); !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("err = %v, want ErrBadPayload", err)
+		}
+	})
+	t.Run("max payload ok", func(t *testing.T) {
+		f := NewData(1, 2, 1, make([]byte, MaxPayload))
+		if _, err := f.Encode(); err != nil {
+			t.Fatalf("max payload rejected: %v", err)
+		}
+	})
+	t.Run("oversize list", func(t *testing.T) {
+		f := NewRequest(1, make([]uint32, MaxListLen+1))
+		if _, err := f.Encode(); !errors.Is(err, ErrBadList) {
+			t.Fatalf("err = %v, want ErrBadList", err)
+		}
+	})
+	t.Run("zero type", func(t *testing.T) {
+		f := &Frame{}
+		if _, err := f.Encode(); !errors.Is(err, ErrBadType) {
+			t.Fatalf("err = %v, want ErrBadType", err)
+		}
+	})
+}
+
+func TestWireSizeMatchesEncodedLen(t *testing.T) {
+	frames := []*Frame{
+		NewData(1, 2, 7, make([]byte, 123)),
+		NewHello(4, []NodeID{1, 2, 3, 4, 5}),
+		NewRequest(9, []uint32{1, 2, 3}),
+		NewResponse(2, 3, 11, make([]byte, 1000)),
+	}
+	for _, f := range frames {
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if len(b) != f.WireSize() {
+			t.Fatalf("%v: len=%d WireSize=%d", f, len(b), f.WireSize())
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// Property: any well-formed frame round-trips Encode→Decode exactly.
+	check := func(kind uint8, src, dst uint16, seq uint32, listRaw []uint16, payload []byte) bool {
+		f := &Frame{
+			Type: Type(kind%4) + 1,
+			Src:  NodeID(src),
+			Dst:  NodeID(dst),
+			Seq:  seq,
+		}
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		if len(listRaw) > MaxListLen {
+			listRaw = listRaw[:MaxListLen]
+		}
+		switch f.Type {
+		case TypeHello:
+			for _, v := range listRaw {
+				f.List = append(f.List, NodeID(v))
+			}
+		case TypeRequest:
+			for _, v := range listRaw {
+				f.Seqs = append(f.Seqs, uint32(v))
+			}
+		case TypeData, TypeResponse:
+			if len(payload) > 0 {
+				f.Payload = append([]byte(nil), payload...)
+			}
+			f.Flow = f.Dst
+		}
+		b, err := f.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(f, got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitFlipDetectedProperty(t *testing.T) {
+	// Property: flipping any single bit of an encoded frame is detected
+	// (CRC or structural validation) — Decode must never silently return
+	// a different frame.
+	base, err := NewData(7, 8, 1234, []byte("the quick brown fox")).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(base)*8; bit++ {
+		b := append([]byte(nil), base...)
+		b[bit/8] ^= 1 << (bit % 8)
+		got, err := Decode(b)
+		if err != nil {
+			continue
+		}
+		orig, _ := Decode(base)
+		if !reflect.DeepEqual(got, orig) {
+			t.Fatalf("bit flip %d produced a different valid frame", bit)
+		}
+	}
+}
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "bcast" {
+		t.Fatalf("Broadcast.String() = %q", Broadcast.String())
+	}
+	if NodeID(3).String() != "n3" {
+		t.Fatalf("NodeID(3).String() = %q", NodeID(3).String())
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for _, tc := range []struct {
+		ty   Type
+		want string
+	}{
+		{TypeData, "DATA"}, {TypeHello, "HELLO"},
+		{TypeRequest, "REQUEST"}, {TypeResponse, "RESPONSE"},
+		{Type(77), "Type(77)"},
+	} {
+		if got := tc.ty.String(); got != tc.want {
+			t.Fatalf("Type.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	cases := []struct {
+		f    *Frame
+		want string
+	}{
+		{NewData(1, 2, 3, []byte("ab")), "DATA"},
+		{NewHello(1, nil), "HELLO"},
+		{NewRequest(1, []uint32{5}), "REQUEST"},
+		{NewResponse(1, 2, 5, nil), "RESPONSE"},
+		{&Frame{Type: Type(99)}, "Frame(type=99)"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); !strings.Contains(got, tc.want) {
+			t.Fatalf("String() = %q, want substring %q", got, tc.want)
+		}
+	}
+}
+
+func BenchmarkEncodeData(b *testing.B) {
+	f := NewData(1, 2, 42, make([]byte, 1000))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeData(b *testing.B) {
+	buf, err := NewData(1, 2, 42, make([]byte, 1000)).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

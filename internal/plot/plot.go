@@ -1,0 +1,190 @@
+// Package plot renders line charts as standalone SVG documents using only
+// the standard library — enough to view the reproduced figures in a
+// browser next to the paper's originals. The visual style mirrors the
+// paper's gnuplot output: a boxed plot area, tick marks, and a legend in
+// the plot corner.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the SVG canvas size in pixels; zero values
+	// default to 640x420.
+	Width, Height int
+	// YMin/YMax fix the Y range; used by the reproduction to pin
+	// probability axes to [0, 1]. If YMin == YMax the range is derived
+	// from the data.
+	YMin, YMax float64
+	Series     []*stats.Series
+}
+
+// palette cycles through line colours reminiscent of gnuplot.
+var palette = []string{"#cc0000", "#00aa00", "#0000cc", "#cc8800", "#8800cc", "#008888"}
+
+// dashes cycles line dash patterns so curves stay distinguishable in
+// monochrome.
+var dashes = []string{"", "6,3", "2,2", "8,3,2,3"}
+
+const margin = 56
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	plotW := float64(w - 2*margin)
+	plotH := float64(h - 2*margin)
+
+	xMin, xMax, yMin, yMax := c.bounds()
+
+	xPix := func(x float64) float64 {
+		if xMax == xMin {
+			return margin
+		}
+		return margin + (x-xMin)/(xMax-xMin)*plotW
+	}
+	yPix := func(y float64) float64 {
+		if yMax == yMin {
+			return margin + plotH
+		}
+		return margin + plotH - (y-yMin)/(yMax-yMin)*plotH
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+
+	// Plot box.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="black"/>`+"\n",
+		margin, margin, plotW, plotH)
+
+	// Title and axis labels.
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n",
+			w/2, margin/2, escape(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			w/2, h-12, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			h/2, h/2, escape(c.YLabel))
+	}
+
+	// Ticks: five per axis.
+	for i := 0; i <= 5; i++ {
+		fx := xMin + (xMax-xMin)*float64(i)/5
+		px := xPix(fx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.0f" x2="%.1f" y2="%.0f" stroke="black"/>`+"\n",
+			px, float64(margin)+plotH, px, float64(margin)+plotH-5)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" text-anchor="middle" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			px, float64(margin)+plotH+16, formatTick(fx))
+
+		fy := yMin + (yMax-yMin)*float64(i)/5
+		py := yPix(fy)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			margin, py, margin+5, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			margin-6, py+3, formatTick(fy))
+	}
+
+	// Series.
+	for si, s := range c.Series {
+		if s.Len() == 0 {
+			continue
+		}
+		colour := palette[si%len(palette)]
+		dash := dashes[si%len(dashes)]
+		var path strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, xPix(s.X[i]), yPix(clamp(s.Y[i], yMin, yMax)))
+		}
+		dashAttr := ""
+		if dash != "" {
+			dashAttr = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"%s/>`+"\n",
+			strings.TrimSpace(path.String()), colour, dashAttr)
+	}
+
+	// Legend, top-right inside the plot box.
+	for si, s := range c.Series {
+		colour := palette[si%len(palette)]
+		y := float64(margin) + 16 + float64(si)*16
+		x := float64(w-margin) - 170
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1.5"/>`+"\n",
+			x, y-4, x+24, y-4, colour)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			x+30, y, escape(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds derives the plotted ranges.
+func (c *Chart) bounds() (xMin, xMax, yMin, yMax float64) {
+	xMin, xMax = math.Inf(1), math.Inf(-1)
+	yMin, yMax = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		xMin, xMax, yMin, yMax = 0, 1, 0, 1
+	}
+	if c.YMin != c.YMax {
+		yMin, yMax = c.YMin, c.YMax
+	} else if yMin == yMax {
+		yMax = yMin + 1
+	}
+	if xMin == xMax {
+		xMax = xMin + 1
+	}
+	return xMin, xMax, yMin, yMax
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,107 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func sampleChart() *Chart {
+	a := &stats.Series{Name: "Rx in car 1"}
+	b := &stats.Series{Name: "Rx in car 2"}
+	for i := 0; i < 50; i++ {
+		a.Append(float64(i), float64(i)/50)
+		b.Append(float64(i), 1-float64(i)/50)
+	}
+	return &Chart{
+		Title:  "Probability of reception",
+		XLabel: "Packet number",
+		YLabel: "Prob. of Reception",
+		YMin:   0, YMax: 1,
+		Series: []*stats.Series{a, b},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	out := sampleChart().SVG()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	out := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "Probability of reception", "Packet number",
+		"Prob. of Reception", "Rx in car 1", "Rx in car 2", "<path",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// Two series => two data paths.
+	if got := strings.Count(out, `<path d=`); got != 2 {
+		t.Fatalf("path count = %d, want 2", got)
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a<b & "c"`
+	out := c.SVG()
+	if strings.Contains(out, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.SVG()
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("degenerate chart did not render")
+	}
+}
+
+func TestSVGSinglePointSeries(t *testing.T) {
+	s := &stats.Series{Name: "dot"}
+	s.Append(5, 0.5)
+	c := &Chart{Series: []*stats.Series{s}}
+	out := c.SVG()
+	if !strings.Contains(out, "<path") {
+		t.Fatal("single point series missing path")
+	}
+}
+
+func TestSVGClampsOutOfRangeValues(t *testing.T) {
+	s := &stats.Series{Name: "wild"}
+	s.Append(0, -5)
+	s.Append(1, 5)
+	c := &Chart{YMin: 0, YMax: 1, Series: []*stats.Series{s}}
+	out := c.SVG()
+	// The plot area spans y pixels [margin, margin+plotH]; clamped
+	// values must stay inside the canvas.
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatal("invalid coordinates in SVG")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if got := formatTick(40); got != "40" {
+		t.Fatalf("formatTick(40) = %q", got)
+	}
+	if got := formatTick(0.25); got != "0.25" {
+		t.Fatalf("formatTick(0.25) = %q", got)
+	}
+}

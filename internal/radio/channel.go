@@ -1,0 +1,170 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config parameterises a Channel. The zero value is not valid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	// PathLoss is the large-scale attenuation model.
+	PathLoss PathLoss
+	// TxPowerDBm is the transmit power used by all stations.
+	TxPowerDBm float64
+	// NoiseFloorDBm is the thermal noise plus receiver noise figure.
+	NoiseFloorDBm float64
+	// ShadowSigmaDB is the log-normal shadowing standard deviation; 0
+	// disables shadowing.
+	ShadowSigmaDB float64
+	// ShadowTau is the shadowing decorrelation time constant.
+	ShadowTau time.Duration
+	// FadingK selects small-scale fading: negative disables fading, 0 is
+	// Rayleigh, positive values are the Rician K-factor (linear).
+	FadingK float64
+	// ObstructionDB, when non-nil, returns extra attenuation in dB for a
+	// link between two positions — used to model buildings blocking
+	// non-line-of-sight street segments in the urban scenario.
+	ObstructionDB func(a, b geom.Point) float64
+	// CaptureThresholdDB: during a collision, the strongest frame is
+	// still received if it exceeds the sum of interferers by this margin.
+	CaptureThresholdDB float64
+	// Seed roots the channel's deterministic random streams.
+	Seed int64
+}
+
+// DefaultConfig returns channel parameters calibrated for the paper's
+// urban scenario: 2.4 GHz, street-canyon exponent, moderate correlated
+// shadowing and Rician fading with a weak line-of-sight component.
+func DefaultConfig() Config {
+	return Config{
+		PathLoss:           LogDistance{FreqHz: 2.4e9, RefDist: 1, Exponent: 3.0},
+		TxPowerDBm:         18,
+		NoiseFloorDBm:      -94,
+		ShadowSigmaDB:      5,
+		ShadowTau:          800 * time.Millisecond,
+		FadingK:            3,
+		CaptureThresholdDB: 10,
+		Seed:               1,
+	}
+}
+
+// Channel computes per-frame reception conditions between stations. It is
+// owned by the single-threaded simulation and must not be shared across
+// goroutines.
+type Channel struct {
+	cfg     Config
+	shadows *shadowField
+	fadeRNG *rand.Rand
+}
+
+// NewChannel validates cfg and builds a channel.
+func NewChannel(cfg Config) (*Channel, error) {
+	if err := validatePathLoss(cfg.PathLoss); err != nil {
+		return nil, err
+	}
+	if cfg.ShadowSigmaDB < 0 {
+		return nil, fmt.Errorf("radio: negative shadowing sigma %v", cfg.ShadowSigmaDB)
+	}
+	return &Channel{
+		cfg:     cfg,
+		shadows: newShadowField(cfg.ShadowSigmaDB, cfg.ShadowTau, cfg.Seed),
+		fadeRNG: sim.Stream(cfg.Seed, "fading"),
+	}, nil
+}
+
+// MustChannel is NewChannel but panics on error, for static scenario
+// setup.
+func MustChannel(cfg Config) *Channel {
+	c, err := NewChannel(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the channel's configuration.
+func (c *Channel) Config() Config { return c.cfg }
+
+// NoiseFloorDBm returns the configured noise floor.
+func (c *Channel) NoiseFloorDBm() float64 { return c.cfg.NoiseFloorDBm }
+
+// CaptureThresholdDB returns the capture margin used by the MAC's
+// collision resolution.
+func (c *Channel) CaptureThresholdDB() float64 { return c.cfg.CaptureThresholdDB }
+
+// MeanRxPowerDBm returns the large-scale received power (path loss +
+// shadowing, no fading) for a frame from a at pa to b at pb at virtual
+// time now. The MAC uses it for carrier sensing and capture comparison;
+// the per-frame fading sample is applied separately in FramePER.
+func (c *Channel) MeanRxPowerDBm(a, b packet.NodeID, pa, pb geom.Point, now time.Duration) float64 {
+	d := pa.Dist(pb)
+	p := c.cfg.TxPowerDBm - c.cfg.PathLoss.LossDB(d) + c.shadows.sample(a, b, now)
+	if c.cfg.ObstructionDB != nil {
+		p -= c.cfg.ObstructionDB(pa, pb)
+	}
+	return p
+}
+
+// FadingSampleDB draws an independent small-scale fading gain for one
+// frame, in dB. Returns 0 when fading is disabled.
+func (c *Channel) FadingSampleDB() float64 {
+	if c.cfg.FadingK < 0 {
+		return 0
+	}
+	return fadingGainDB(c.fadeRNG, c.cfg.FadingK)
+}
+
+// SINRdB combines a received frame power with noise plus an aggregate
+// interference power (both dBm; interferenceDBm may be math.Inf(-1) for
+// none).
+func SINRdB(rxPowerDBm, noiseDBm, interferenceDBm float64) float64 {
+	noiseLin := math.Pow(10, noiseDBm/10)
+	intLin := 0.0
+	if !math.IsInf(interferenceDBm, -1) {
+		intLin = math.Pow(10, interferenceDBm/10)
+	}
+	return rxPowerDBm - 10*math.Log10(noiseLin+intLin)
+}
+
+// CombineDBm returns the power sum of two dBm values.
+func CombineDBm(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	return 10 * math.Log10(math.Pow(10, a/10)+math.Pow(10, b/10))
+}
+
+// FrameDecision holds the outcome of a frame reception computation,
+// recorded in traces for analysis.
+type FrameDecision struct {
+	RxPowerDBm float64
+	SINRdB     float64
+	PER        float64
+	Received   bool
+}
+
+// DecideFrame determines whether a frame of the given size survives the
+// channel: it applies a fading sample to the mean rx power, computes SINR
+// against noise + interference, evaluates the modulation's PER and flips a
+// deterministic coin.
+func (c *Channel) DecideFrame(meanRxDBm, interferenceDBm float64, mod Modulation, bytes int) FrameDecision {
+	rx := meanRxDBm + c.FadingSampleDB()
+	sinr := SINRdB(rx, c.cfg.NoiseFloorDBm, interferenceDBm)
+	per := mod.PER(sinr, bytes)
+	return FrameDecision{
+		RxPowerDBm: rx,
+		SINRdB:     sinr,
+		PER:        per,
+		Received:   c.fadeRNG.Float64() >= per,
+	}
+}

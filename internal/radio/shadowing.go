@@ -1,0 +1,105 @@
+package radio
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// linkKey identifies an unordered station pair; shadowing is modelled as a
+// reciprocal channel property, so (a,b) and (b,a) share one process.
+type linkKey struct {
+	lo, hi packet.NodeID
+}
+
+func makeLinkKey(a, b packet.NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{lo: a, hi: b}
+}
+
+// shadowProcess is a first-order autoregressive (Gauss-Markov) log-normal
+// shadowing process. Samples taken close together in time are strongly
+// correlated; the correlation decays as exp(-dt/tau). This produces the
+// bursty loss patterns real vehicular links exhibit (a car behind a
+// building stays behind it for a while), which matters for C-ARQ: bursts
+// are what single-link ARQ cannot fix and cooperative diversity can.
+type shadowProcess struct {
+	sigmaDB float64
+	tau     time.Duration
+	rng     *rand.Rand
+
+	last   time.Duration
+	valDB  float64
+	primed bool
+}
+
+func newShadowProcess(sigmaDB float64, tau time.Duration, rng *rand.Rand) *shadowProcess {
+	return &shadowProcess{sigmaDB: sigmaDB, tau: tau, rng: rng}
+}
+
+// sample returns the shadowing value in dB at virtual time now, evolving
+// the AR(1) state forward. Time must not go backwards; the process clamps
+// negative steps to zero (re-sampling the same instant returns the same
+// value).
+func (p *shadowProcess) sample(now time.Duration) float64 {
+	if p.sigmaDB == 0 {
+		return 0
+	}
+	if !p.primed {
+		p.valDB = p.rng.NormFloat64() * p.sigmaDB
+		p.last = now
+		p.primed = true
+		return p.valDB
+	}
+	dt := now - p.last
+	if dt <= 0 {
+		return p.valDB
+	}
+	p.last = now
+	if p.tau <= 0 {
+		// No correlation: i.i.d. per sample.
+		p.valDB = p.rng.NormFloat64() * p.sigmaDB
+		return p.valDB
+	}
+	rho := math.Exp(-float64(dt) / float64(p.tau))
+	p.valDB = rho*p.valDB + math.Sqrt(1-rho*rho)*p.sigmaDB*p.rng.NormFloat64()
+	return p.valDB
+}
+
+// shadowField manages per-link shadowing processes, lazily created with
+// deterministic per-link RNG streams so results do not depend on the order
+// links are first used.
+type shadowField struct {
+	sigmaDB float64
+	tau     time.Duration
+	seed    int64
+	links   map[linkKey]*shadowProcess
+}
+
+func newShadowField(sigmaDB float64, tau time.Duration, seed int64) *shadowField {
+	return &shadowField{
+		sigmaDB: sigmaDB,
+		tau:     tau,
+		seed:    seed,
+		links:   make(map[linkKey]*shadowProcess),
+	}
+}
+
+func (f *shadowField) sample(a, b packet.NodeID, now time.Duration) float64 {
+	if f.sigmaDB == 0 {
+		return 0
+	}
+	key := makeLinkKey(a, b)
+	p, ok := f.links[key]
+	if !ok {
+		name := "shadow-" + key.lo.String() + "-" + key.hi.String()
+		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, name))
+		f.links[key] = p
+	}
+	return p.sample(now)
+}

@@ -1,0 +1,93 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/scenario"
+)
+
+// TestbedMapSVG renders the reproduction's answer to the paper's Figure 2
+// (the testbed map): the block circuit the platoon drives, the building
+// footprint that obstructs propagation, the AP antenna position, and the
+// main-street coverage stretch.
+func TestbedMapSVG() string {
+	loop := scenario.TestbedLoop()
+	building := scenario.TestbedBuilding()
+	apPos := scenario.TestbedAPPosition()
+
+	// Canvas with padding; world coordinates are metres, flipped so
+	// north is up.
+	pts := loop.Points()
+	minX, minY, maxX, maxY := bounds(pts)
+	const pad = 30.0
+	scale := 3.0
+	w := (maxX-minX)*scale + 2*pad
+	h := (maxY-minY)*scale + 2*pad
+	x := func(wx float64) float64 { return pad + (wx-minX)*scale }
+	y := func(wy float64) float64 { return h - pad - (wy-minY)*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="#f8f8f4"/>` + "\n")
+
+	// Building block.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#d8cfc0" stroke="#a89f90"/>`+"\n",
+		x(building.MinX), y(building.MaxY),
+		(building.MaxX-building.MinX)*scale, (building.MaxY-building.MinY)*scale)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="12" fill="#6a6156">buildings</text>`+"\n",
+		x((building.MinX+building.MaxX)/2), y((building.MinY+building.MaxY)/2))
+
+	// Driving circuit with direction arrows.
+	var path strings.Builder
+	for i, p := range pts {
+		cmd := "L"
+		if i == 0 {
+			cmd = "M"
+		}
+		fmt.Fprintf(&path, "%s%.1f %.1f ", cmd, x(p.X), y(p.Y))
+	}
+	fmt.Fprintf(&b, `<path d="%sZ" fill="none" stroke="#3465a4" stroke-width="3" stroke-dasharray="10,4"/>`+"\n",
+		strings.TrimSpace(path.String()))
+
+	// AP antenna.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="#cc0000"/>`+"\n", x(apPos.X), y(apPos.Y))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" fill="#cc0000">AP</text>`+"\n",
+		x(apPos.X)+8, y(apPos.Y)+4)
+
+	// Coverage stretch: the main street (south edge) highlighted.
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cc0000" stroke-width="7" stroke-opacity="0.25"/>`+"\n",
+		x(minX), y(minY), x(maxX), y(minY))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle" font-family="sans-serif" font-size="11" fill="#884444">coverage window (main street)</text>`+"\n",
+		x((minX+maxX)/2), y(minY)+18)
+
+	// Corner C: where car 3 closes up on car 2.
+	fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="none" stroke="#2a7a2a" stroke-width="2"/>`+"\n",
+		x(maxX), y(minY))
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12" fill="#2a7a2a">C</text>`+"\n",
+		x(maxX)+7, y(minY)-6)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func bounds(pts []geom.Point) (minX, minY, maxX, maxY float64) {
+	minX, minY = pts[0].X, pts[0].Y
+	maxX, maxY = pts[0].X, pts[0].Y
+	for _, p := range pts[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}

@@ -1,0 +1,27 @@
+package report
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTestbedMapSVG(t *testing.T) {
+	out := TestbedMapSVG()
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("map SVG not well-formed: %v", err)
+		}
+	}
+	for _, want := range []string{"AP", "buildings", "coverage window", ">C<"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("map SVG missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+const apID packet.NodeID = 100
+
+// fabricate builds a two-round result with known receptions.
+func fabricate() *scenario.TestbedResult {
+	mkRound := func() *trace.Collector {
+		c := &trace.Collector{}
+		for _, car := range []packet.NodeID{1, 2} {
+			for seq := uint32(1); seq <= 10; seq++ {
+				c.OnTx(apID, packet.NewData(apID, car, seq, nil), time.Duration(seq)*time.Second, time.Millisecond)
+			}
+		}
+		// Car 1 receives odd seqs, car 2 receives car 1's even seqs.
+		for seq := uint32(1); seq <= 10; seq += 2 {
+			c.OnRx(1, packet.NewData(apID, 1, seq, nil), mac.RxMeta{At: time.Duration(seq) * time.Second})
+		}
+		for seq := uint32(2); seq <= 10; seq += 2 {
+			c.OnRx(2, packet.NewData(apID, 1, seq, nil), mac.RxMeta{At: time.Duration(seq) * time.Second})
+			c.OnRx(2, packet.NewData(apID, 2, seq, nil), mac.RxMeta{At: time.Duration(seq) * time.Second})
+		}
+		// Car 1 recovers the even seqs from car 2.
+		for seq := uint32(2); seq <= 10; seq += 2 {
+			c.OnRecovered(1, seq, 2, 100*time.Second)
+		}
+		return c
+	}
+	return &scenario.TestbedResult{
+		Rounds: []*trace.Collector{mkRound(), mkRound()},
+		CarIDs: []packet.NodeID{1, 2},
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	res := fabricate()
+	out := Table1(res)
+	if !strings.Contains(out, "Lost before coop") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "recovered") {
+		t.Fatalf("missing improvement line:\n%s", out)
+	}
+	rows := Table1Rows(res)
+	// Car 1: window 1..9 (odd receptions), 9 offered, 4 lost before
+	// (2,4,6,8), 0 lost after (recovered).
+	if rows[0].TxByAP.Mean() != 9 || rows[0].LostBefore.Mean() != 4 || rows[0].LostAfter.Mean() != 0 {
+		t.Fatalf("car1 row: tx=%v before=%v after=%v",
+			rows[0].TxByAP.Mean(), rows[0].LostBefore.Mean(), rows[0].LostAfter.Mean())
+	}
+}
+
+func TestReceptionFigure(t *testing.T) {
+	res := fabricate()
+	fig, err := NewReceptionFigure(res.Rounds, res.CarIDs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Window != [2]uint32{1, 10} {
+		t.Fatalf("window = %v", fig.Window)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	out := fig.String()
+	if !strings.Contains(out, "Region I") || !strings.Contains(out, "Rx in car") {
+		t.Fatalf("figure output:\n%s", out)
+	}
+	if !strings.Contains(fig.GnuplotData(), "# Rx in car") {
+		t.Fatal("gnuplot data missing headers")
+	}
+}
+
+func TestReceptionFigureNoWindow(t *testing.T) {
+	empty := &scenario.TestbedResult{
+		Rounds: []*trace.Collector{{}},
+		CarIDs: []packet.NodeID{1},
+	}
+	if _, err := NewReceptionFigure(empty.Rounds, empty.CarIDs, 1); err == nil {
+		t.Fatal("empty rounds produced a figure")
+	}
+	if _, err := NewCoopFigure(empty.Rounds, empty.CarIDs, 1); err == nil {
+		t.Fatal("empty rounds produced a coop figure")
+	}
+}
+
+func TestCoopFigureOptimal(t *testing.T) {
+	res := fabricate()
+	fig, err := NewCoopFigure(res.Rounds, res.CarIDs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Car 1 recovered everything car 2 had: curves coincide.
+	if fig.MaxGap != 0 || fig.MeanGap != 0 {
+		t.Fatalf("gap = %v/%v, want 0/0", fig.MaxGap, fig.MeanGap)
+	}
+	if !strings.Contains(fig.String(), "optimality gap") {
+		t.Fatal("missing gap line")
+	}
+	if fig.GnuplotData() == "" {
+		t.Fatal("empty gnuplot data")
+	}
+}
+
+func TestOverheadSummary(t *testing.T) {
+	res := fabricate()
+	res.Rounds[0].OnTx(1, packet.NewHello(1, nil), 0, time.Millisecond)
+	res.Rounds[1].OnTx(1, packet.NewRequest(1, []uint32{2}), 0, time.Millisecond)
+	o := OverheadSummary(res.Rounds)
+	if o.HelloTx != 1 || o.RequestTx != 1 || o.DataTx != 40 {
+		t.Fatalf("overhead = %+v", o)
+	}
+	if !strings.Contains(FormatOverhead("x", o), "request=1") {
+		t.Fatal("FormatOverhead missing fields")
+	}
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained.
+var ErrStopped = errors.New("sim: stopped")
+
+// Engine is the discrete-event scheduler. It is single-threaded by design:
+// all protocol logic runs inside event callbacks on the goroutine that calls
+// Run, so simulations need no locking and are fully deterministic.
+//
+// The zero value is not ready to use; create engines with New.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopReq bool
+	running bool
+
+	// processed counts events whose callbacks have run, for diagnostics.
+	processed uint64
+}
+
+// New returns an Engine with the clock at zero and an empty queue.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not been popped yet.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Schedule arranges for fn to run after delay. Negative delays are clamped
+// to zero, so the event fires at the current time but strictly after the
+// callback that scheduled it returns.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute virtual time t. Scheduling
+// in the past panics: it would make time non-monotonic and always indicates
+// a protocol bug.
+func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) before now (%v)", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.queue.Push(ev)
+	return ev
+}
+
+// Stop requests that Run return after the currently executing event. It is
+// safe to call from inside an event callback.
+func (e *Engine) Stop() { e.stopReq = true }
+
+// Step executes the next live event, advancing the clock to its timestamp.
+// It reports whether an event was executed (false means the queue is empty).
+func (e *Engine) Step() bool {
+	for {
+		ev := e.queue.Pop()
+		if ev == nil {
+			return false
+		}
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// nil when the queue drained and ErrStopped when halted early.
+func (e *Engine) Run() error {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events with timestamps <= horizon, then advances the
+// clock to horizon. A negative horizon means "no horizon" (run to drain).
+// Events strictly after the horizon remain queued. It returns ErrStopped if
+// Stop halted the run early, nil otherwise.
+func (e *Engine) RunUntil(horizon time.Duration) error {
+	if e.running {
+		panic("sim: nested Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopReq = false
+	for {
+		if e.stopReq {
+			return ErrStopped
+		}
+		next := e.queue.Peek()
+		if next == nil {
+			break
+		}
+		if horizon >= 0 && next.at > horizon {
+			break
+		}
+		e.Step()
+	}
+	if horizon >= 0 && e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+var _ Context = (*Engine)(nil)

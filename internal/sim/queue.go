@@ -1,0 +1,82 @@
+package sim
+
+// eventQueue is a binary min-heap of events ordered by (time, sequence).
+// The sequence number breaks ties so that events scheduled for the same
+// instant fire in scheduling order, which keeps runs deterministic.
+//
+// The heap is implemented directly rather than through container/heap to
+// avoid the interface boxing on every push/pop; the kernel is the hottest
+// path in the whole simulator.
+type eventQueue struct {
+	items []*Event
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// Push inserts ev and restores the heap property.
+func (q *eventQueue) Push(ev *Event) {
+	q.items = append(q.items, ev)
+	q.up(len(q.items) - 1)
+}
+
+// Pop removes and returns the earliest event, or nil if the queue is empty.
+func (q *eventQueue) Pop() *Event {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.items[0] = q.items[n-1]
+	q.items[n-1] = nil // allow the event to be collected
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// Peek returns the earliest event without removing it, or nil.
+func (q *eventQueue) Peek() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

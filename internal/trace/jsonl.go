@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// line is the JSONL envelope: a kind tag plus exactly one populated record.
+type line struct {
+	Kind      string          `json:"kind"`
+	Tx        *TxRecord       `json:"tx,omitempty"`
+	Rx        *RxRecord       `json:"rx,omitempty"`
+	Drop      *DropRecord     `json:"drop,omitempty"`
+	Phase     *PhaseRecord    `json:"phase,omitempty"`
+	Recovered *RecoveryRecord `json:"recovered,omitempty"`
+	Completed *CompleteRecord `json:"completed,omitempty"`
+}
+
+// WriteJSONL streams every record as one JSON object per line, in record-
+// category order (tx, rx, drops, phases, recoveries, completions); each
+// category is chronological.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(l line) error { return enc.Encode(l) }
+	for i := range c.Tx {
+		if err := emit(line{Kind: "tx", Tx: &c.Tx[i]}); err != nil {
+			return fmt.Errorf("trace: write tx: %w", err)
+		}
+	}
+	for i := range c.Rx {
+		if err := emit(line{Kind: "rx", Rx: &c.Rx[i]}); err != nil {
+			return fmt.Errorf("trace: write rx: %w", err)
+		}
+	}
+	for i := range c.Drops {
+		if err := emit(line{Kind: "drop", Drop: &c.Drops[i]}); err != nil {
+			return fmt.Errorf("trace: write drop: %w", err)
+		}
+	}
+	for i := range c.Phases {
+		if err := emit(line{Kind: "phase", Phase: &c.Phases[i]}); err != nil {
+			return fmt.Errorf("trace: write phase: %w", err)
+		}
+	}
+	for i := range c.Recovered {
+		if err := emit(line{Kind: "recovered", Recovered: &c.Recovered[i]}); err != nil {
+			return fmt.Errorf("trace: write recovery: %w", err)
+		}
+	}
+	for i := range c.Completed {
+		if err := emit(line{Kind: "completed", Completed: &c.Completed[i]}); err != nil {
+			return fmt.Errorf("trace: write completion: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a stream produced by WriteJSONL back into a Collector.
+func ReadJSONL(r io.Reader) (*Collector, error) {
+	c := &Collector{}
+	dec := json.NewDecoder(r)
+	for lineNo := 1; ; lineNo++ {
+		var l line
+		if err := dec.Decode(&l); err != nil {
+			if err == io.EOF {
+				return c, nil
+			}
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch l.Kind {
+		case "tx":
+			if l.Tx == nil {
+				return nil, fmt.Errorf("trace: line %d: tx record missing body", lineNo)
+			}
+			c.Tx = append(c.Tx, *l.Tx)
+		case "rx":
+			if l.Rx == nil {
+				return nil, fmt.Errorf("trace: line %d: rx record missing body", lineNo)
+			}
+			c.Rx = append(c.Rx, *l.Rx)
+		case "drop":
+			if l.Drop == nil {
+				return nil, fmt.Errorf("trace: line %d: drop record missing body", lineNo)
+			}
+			c.Drops = append(c.Drops, *l.Drop)
+		case "phase":
+			if l.Phase == nil {
+				return nil, fmt.Errorf("trace: line %d: phase record missing body", lineNo)
+			}
+			c.Phases = append(c.Phases, *l.Phase)
+		case "recovered":
+			if l.Recovered == nil {
+				return nil, fmt.Errorf("trace: line %d: recovery record missing body", lineNo)
+			}
+			c.Recovered = append(c.Recovered, *l.Recovered)
+		case "completed":
+			if l.Completed == nil {
+				return nil, fmt.Errorf("trace: line %d: completion record missing body", lineNo)
+			}
+			c.Completed = append(c.Completed, *l.Completed)
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, l.Kind)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/carq"
+	"repro/internal/mac"
+	"repro/internal/packet"
+)
+
+func sampleCollector() *Collector {
+	c := &Collector{}
+	// AP 100 sends seqs 1..3 to flow 1 and 1..2 to flow 2.
+	for seq := uint32(1); seq <= 3; seq++ {
+		c.OnTx(100, packet.NewData(100, 1, seq, []byte("x")), time.Duration(seq)*time.Second, 8*time.Millisecond)
+	}
+	for seq := uint32(1); seq <= 2; seq++ {
+		c.OnTx(100, packet.NewData(100, 2, seq, []byte("x")), time.Duration(10+seq)*time.Second, 8*time.Millisecond)
+	}
+	// Car 1 receives seqs 1 and 3 directly; car 2 receives car 1's seq 2.
+	c.OnRx(1, packet.NewData(100, 1, 1, []byte("x")), mac.RxMeta{At: time.Second, RxPowerDBm: -70, SINRdB: 20})
+	c.OnRx(1, packet.NewData(100, 1, 3, []byte("x")), mac.RxMeta{At: 3 * time.Second, RxPowerDBm: -72, SINRdB: 19})
+	c.OnRx(2, packet.NewData(100, 1, 2, []byte("x")), mac.RxMeta{At: 2 * time.Second, RxPowerDBm: -75, SINRdB: 16})
+	// Car 1 misses seq 2 off the air.
+	c.OnDrop(1, packet.NewData(100, 1, 2, []byte("x")), 2*time.Second, mac.DropChannel)
+	// Protocol events: car 1 recovers seq 2 from car 2.
+	c.OnPhaseChange(1, carq.PhaseReception, carq.PhaseCoopARQ, 8*time.Second)
+	c.OnRecovered(1, 2, 2, 9*time.Second)
+	c.OnComplete(1, 9*time.Second)
+	return c
+}
+
+func TestDataSentSeqs(t *testing.T) {
+	c := sampleCollector()
+	got := c.DataSentSeqs(1)
+	want := []uint32{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DataSentSeqs(1) = %v, want %v", got, want)
+	}
+	if got := c.DataSentSeqs(2); len(got) != 2 {
+		t.Fatalf("DataSentSeqs(2) = %v", got)
+	}
+	if got := c.DataSentSeqs(9); got != nil {
+		t.Fatalf("DataSentSeqs(9) = %v, want nil", got)
+	}
+}
+
+func TestDataSentSeqsDeduplicates(t *testing.T) {
+	c := &Collector{}
+	f := packet.NewData(100, 1, 5, nil)
+	c.OnTx(100, f, time.Second, time.Millisecond)
+	c.OnTx(100, f, 2*time.Second, time.Millisecond) // AP repeat
+	if got := c.DataSentSeqs(1); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("DataSentSeqs = %v, want [5]", got)
+	}
+}
+
+func TestDirectAndJointRxSets(t *testing.T) {
+	c := sampleCollector()
+	direct1 := c.DirectRxSet(1, 1)
+	if !direct1[1] || direct1[2] || !direct1[3] {
+		t.Fatalf("DirectRxSet(1,1) = %v", direct1)
+	}
+	joint := c.JointRxSet(1, 1, 2, 3)
+	for seq := uint32(1); seq <= 3; seq++ {
+		if !joint[seq] {
+			t.Fatalf("JointRxSet missing seq %d: %v", seq, joint)
+		}
+	}
+}
+
+func TestHeldSetIncludesRecoveries(t *testing.T) {
+	c := sampleCollector()
+	held := c.HeldSet(1)
+	for seq := uint32(1); seq <= 3; seq++ {
+		if !held[seq] {
+			t.Fatalf("HeldSet(1) missing %d: %v", seq, held)
+		}
+	}
+	if rec := c.RecoveredSet(1); !rec[2] || len(rec) != 1 {
+		t.Fatalf("RecoveredSet(1) = %v", rec)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	c := sampleCollector()
+	got := c.Counts()
+	want := Counts{Tx: 5, Rx: 3, Drops: 1, Phases: 1, Recovered: 1, Completed: 1}
+	if got != want {
+		t.Fatalf("Counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	c := sampleCollector()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", c, got)
+	}
+}
+
+func TestJSONLEmptyCollector(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Collector{}).WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counts() != (Counts{}) {
+		t.Fatalf("non-empty round trip of empty collector: %+v", got.Counts())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"garbage", "not json\n"},
+		{"unknown kind", `{"kind":"nope"}` + "\n"},
+		{"missing body", `{"kind":"tx"}` + "\n"},
+		{"missing rx body", `{"kind":"rx"}` + "\n"},
+		{"missing drop body", `{"kind":"drop"}` + "\n"},
+		{"missing phase body", `{"kind":"phase"}` + "\n"},
+		{"missing recovery body", `{"kind":"recovered"}` + "\n"},
+		{"missing completion body", `{"kind":"completed"}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSONL(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("input %q accepted", tc.input)
+			}
+		})
+	}
+}
+
+func TestSortU32(t *testing.T) {
+	xs := []uint32{5, 1, 4, 1, 3}
+	sortU32(xs)
+	want := []uint32{1, 1, 3, 4, 5}
+	if !reflect.DeepEqual(xs, want) {
+		t.Fatalf("sortU32 = %v", xs)
+	}
+}
