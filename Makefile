@@ -1,0 +1,34 @@
+# Targets mirror .github/workflows/ci.yml one-to-one so local runs and
+# CI can never drift.
+
+GO ?= go
+
+.PHONY: all build test short race bench fmt vet check
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: build fmt vet short

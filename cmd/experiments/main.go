@@ -1,15 +1,19 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation, plus the ablation and extension studies listed in DESIGN.md.
+// evaluation, plus the ablation and extension studies, through the
+// internal/harness orchestration layer: each study is a registered
+// experiment that decomposes into independent (scenario, parameter-point,
+// round) work units executed on a worker pool. Per-unit RNG seeds derive
+// from the root seed alone, so any worker count produces byte-identical
+// outputs.
 //
 // Usage:
 //
-//	experiments [-exp all|table1|figures|batch|selection|apretx|platoon|
-//	             download|bitrate|epidemic|highway|combining|adaptive|
-//	             corridor|ttl|dynamics]
-//	            [-rounds 30] [-seed 1] [-out results]
+//	experiments [-exp all|<name>[,<name>...]] [-rounds 30] [-seed 1]
+//	            [-out results] [-workers N] [-list]
 //
-// Outputs are written to the -out directory as plain-text reports plus
-// gnuplot-ready .dat series for each figure.
+// Outputs are written to the -out directory as plain-text reports,
+// gnuplot-ready .dat series and SVG figures, plus a machine-readable
+// manifest.json describing every experiment, seed and output file.
 package main
 
 import (
@@ -17,21 +21,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 	"strings"
-	"time"
 
-	"repro/internal/analysis"
-	"repro/internal/baseline"
-	"repro/internal/carq"
-	"repro/internal/mac"
-	"repro/internal/packet"
-	"repro/internal/plot"
-	"repro/internal/radio"
-	"repro/internal/report"
-	"repro/internal/scenario"
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/harness"
 )
 
 func main() {
@@ -39,608 +31,57 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (all, table1, figures, batch, selection, apretx, platoon, download, bitrate, epidemic, highway)")
-		rounds = flag.Int("rounds", 30, "rounds for the canonical testbed experiments")
-		seed   = flag.Int64("seed", 1, "root random seed")
-		out    = flag.String("out", "results", "output directory")
+		exp     = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
+		rounds  = flag.Int("rounds", 30, "rounds for the canonical testbed experiments")
+		seed    = flag.Int64("seed", 1, "root random seed")
+		out     = flag.String("out", "results", "output directory")
+		workers = flag.Int("workers", 0, "concurrent work units (0: GOMAXPROCS)")
+		list    = flag.Bool("list", false, "print the experiment catalogue and exit")
 	)
 	flag.Parse()
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("creating %s: %v", *out, err)
-	}
-	r := runner{rounds: *rounds, seed: *seed, out: *out}
-
-	all := map[string]func() error{
-		"table1":    r.table1AndFigures, // table1 and figures share one run
-		"figures":   r.table1AndFigures,
-		"batch":     r.batchAblation,
-		"selection": r.selectionAblation,
-		"apretx":    r.apRetxAblation,
-		"platoon":   r.platoonSweep,
-		"download":  r.download,
-		"bitrate":   r.bitrateSweep,
-		"epidemic":  r.epidemicComparison,
-		"highway":   r.highwaySweep,
-		"combining": r.frameCombining,
-		"adaptive":  r.adaptiveRepeats,
-		"corridor":  r.corridor,
-		"ttl":       r.recruitmentTTL,
-		"dynamics":  r.recoveryDynamics,
+	if *list {
+		printCatalogue(os.Stdout)
+		return
 	}
 
-	switch *exp {
-	case "all":
-		// Fixed order; table1AndFigures once.
-		for _, name := range []string{"table1", "batch", "selection", "apretx", "platoon", "download", "bitrate", "epidemic", "highway", "combining", "adaptive", "corridor", "ttl", "dynamics"} {
-			if err := all[name](); err != nil {
-				log.Fatalf("%s: %v", name, err)
-			}
-		}
-	default:
-		fn, ok := all[*exp]
-		if !ok {
-			log.Fatalf("unknown experiment %q", *exp)
-		}
-		if err := fn(); err != nil {
-			log.Fatalf("%s: %v", *exp, err)
-		}
-	}
-}
-
-type runner struct {
-	rounds int
-	seed   int64
-	out    string
-}
-
-func (r runner) write(name, content string) error {
-	path := filepath.Join(r.out, name)
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
-		return fmt.Errorf("writing %s: %w", path, err)
-	}
-	log.Printf("wrote %s", path)
-	return nil
-}
-
-// table1AndFigures runs the canonical urban testbed once and regenerates
-// Table 1 and Figures 3-8 from the same traces, exactly as the paper
-// post-processed one set of captures.
-func (r runner) table1AndFigures() error {
-	cfg := scenario.DefaultTestbed()
-	cfg.Rounds = r.rounds
-	cfg.Seed = r.seed
-	cfg.Parallel = true
-	res, err := scenario.RunTestbed(cfg)
+	runner, err := harness.NewRunner(harness.Config{
+		Rounds:  *rounds,
+		Seed:    *seed,
+		OutDir:  *out,
+		Workers: *workers,
+		Logf:    log.Printf,
+	})
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
 
-	if err := r.write("table1.txt", report.Table1(res)); err != nil {
-		return err
-	}
-	// The reproduction's Figure 2: the testbed map.
-	if err := r.write("fig2_map.svg", report.TestbedMapSVG()); err != nil {
-		return err
-	}
-
-	for i, flow := range res.CarIDs {
-		fig, err := report.NewReceptionFigure(res.Rounds, res.CarIDs, flow)
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("fig%d", 3+i)
-		if err := r.write(name+".txt", fig.String()); err != nil {
-			return err
-		}
-		if err := r.write(name+".dat", fig.GnuplotData()); err != nil {
-			return err
-		}
-		if err := r.write(name+".svg", fig.SVG()); err != nil {
-			return err
-		}
-	}
-	for i, car := range res.CarIDs {
-		fig, err := report.NewCoopFigure(res.Rounds, res.CarIDs, car)
-		if err != nil {
-			return err
-		}
-		name := fmt.Sprintf("fig%d", 6+i)
-		if err := r.write(name+".txt", fig.String()); err != nil {
-			return err
-		}
-		if err := r.write(name+".dat", fig.GnuplotData()); err != nil {
-			return err
-		}
-		if err := r.write(name+".svg", fig.SVG()); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// batchAblation compares per-packet REQUESTs with the paper's proposed
-// batched-REQUEST optimisation: overhead and recovery latency.
-func (r runner) batchAblation() error {
-	var b strings.Builder
-	b.WriteString("A1: batched REQUEST (all missing seqs in one frame) vs per-packet REQUEST\n\n")
-	for _, batch := range []bool{false, true} {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 10)
-		cfg.Seed = r.seed
-		cfg.BatchRequests = batch
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		name := "per-packet"
-		if batch {
-			name = "batched"
-		}
-		b.WriteString(report.FormatOverhead(name, report.OverheadSummary(res.Rounds)))
-		rows := report.Table1Rows(res)
-		var lat []float64
-		for _, car := range res.CarIDs {
-			lat = append(lat, analysis.LastRecoveryLatencies(res.Rounds, car)...)
-		}
-		fmt.Fprintf(&b, "%-24s post-coop loss: car1=%.1f%% car2=%.1f%% car3=%.1f%%  mean recovery latency=%.2fs (n=%d)\n\n",
-			"", rows[0].LostAfterPct(), rows[1].LostAfterPct(), rows[2].LostAfterPct(),
-			stats.Mean(lat), len(lat))
-	}
-	return r.write("ablation_batch.txt", b.String())
-}
-
-// selectionAblation compares cooperator-selection policies (the paper's
-// future-work question).
-func (r runner) selectionAblation() error {
-	var b strings.Builder
-	b.WriteString("A2: cooperator selection policy\n\n")
-	for _, tc := range []struct {
-		name string
-		sel  carq.Selection
-	}{
-		{"all one-hop (paper)", carq.SelectAll{}},
-		{"best-1 by signal", carq.SelectBestK{K: 1}},
-		{"best-2 by signal", carq.SelectBestK{K: 2}},
-		{"freshest-1", carq.SelectFreshestK{K: 1}},
-	} {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 10)
-		cfg.Seed = r.seed
-		cfg.Selection = tc.sel
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		rows := report.Table1Rows(res)
-		var post, impr float64
-		for _, row := range rows {
-			post += row.LostAfterPct()
-			impr += row.Improvement()
-		}
-		o := report.OverheadSummary(res.Rounds)
-		fmt.Fprintf(&b, "%-22s mean post-coop loss=%.1f%% mean improvement=%.2f responses=%d\n",
-			tc.name, post/float64(len(rows)), impr/float64(len(rows)), o.ResponseTx)
-	}
-	return r.write("ablation_selection.txt", b.String())
-}
-
-// apRetxAblation compares pure C-ARQ with spending coverage time on
-// AP-side retransmissions.
-func (r runner) apRetxAblation() error {
-	var b strings.Builder
-	b.WriteString("A3: AP-side retransmissions vs pure C-ARQ\n")
-	b.WriteString("(repeats>1 divides the AP's new-data budget; distinct packets delivered per pass matter)\n\n")
-	for _, tc := range []struct {
-		name    string
-		repeats int
-		coop    bool
-	}{
-		{"no-coop, 1x", 1, false},
-		{"no-coop, 2x repeats", 2, false},
-		{"no-coop, 3x repeats", 3, false},
-		{"C-ARQ,  1x (paper)", 1, true},
-	} {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 10)
-		cfg.Seed = r.seed
-		cfg.APRepeats = tc.repeats
-		cfg.Coop = tc.coop
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		// Distinct packets held at the end per car per round, and the
-		// AP airtime spent. With repeats the AP sends the same seq
-		// several times, so "held" must be compared against distinct
-		// seqs offered.
-		var held, offered float64
-		for _, round := range res.Rounds {
-			for _, car := range res.CarIDs {
-				held += float64(len(round.HeldSet(car)))
-				offered += float64(len(round.DataSentSeqs(car)))
-			}
-		}
-		n := float64(len(res.Rounds) * len(res.CarIDs))
-		fmt.Fprintf(&b, "%-22s distinct held/car/round=%.1f of %.1f offered (%.1f%%)\n",
-			tc.name, held/n, offered/n, 100*held/offered)
-	}
-	return r.write("ablation_apretx.txt", b.String())
-}
-
-// platoonSweep measures residual loss versus platoon size (diversity).
-func (r runner) platoonSweep() error {
-	var b strings.Builder
-	b.WriteString("A4: platoon size sweep — cooperative diversity vs residual loss\n\n")
-	b.WriteString("cars  pre-coop%%  post-coop%%  improvement\n")
-	var dat strings.Builder
-	dat.WriteString("# cars pre post\n")
-	for cars := 1; cars <= 6; cars++ {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 8)
-		cfg.Seed = r.seed
-		cfg.Cars = cars
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		rows := report.Table1Rows(res)
-		var pre, post float64
-		for _, row := range rows {
-			pre += row.LostBeforePct()
-			post += row.LostAfterPct()
-		}
-		pre /= float64(len(rows))
-		post /= float64(len(rows))
-		impr := 0.0
-		if pre > 0 {
-			impr = 1 - post/pre
-		}
-		fmt.Fprintf(&b, "%4d  %9.1f  %10.1f  %11.2f\n", cars, pre, post, impr)
-		fmt.Fprintf(&dat, "%d %g %g\n", cars, pre, post)
-	}
-	if err := r.write("ext_platoon.dat", dat.String()); err != nil {
-		return err
-	}
-	return r.write("ext_platoon.txt", b.String())
-}
-
-// download measures AP visits needed to assemble a file, with and without
-// cooperation (the paper's headline future-work metric).
-func (r runner) download() error {
-	var b strings.Builder
-	b.WriteString("A5: AP visits to download a file (220 blocks/car)\n\n")
-	for _, coop := range []bool{false, true} {
-		cfg := scenario.DefaultDownload()
-		cfg.Seed = r.seed
-		cfg.Coop = coop
-		res, err := scenario.RunDownload(cfg)
-		if err != nil {
-			return err
-		}
-		mode := "no-coop"
-		if coop {
-			mode = "C-ARQ"
-		}
-		for _, c := range res.Cars {
-			fmt.Fprintf(&b, "%-8s car %v: completed=%v visits=%d time=%v blocks=%d/%d\n",
-				mode, c.Car, c.Completed, c.Visits, c.CompletionTime.Round(time.Second), c.Blocks, cfg.FileBlocks)
-		}
-		b.WriteString("\n")
-	}
-	return r.write("ext_download.txt", b.String())
-}
-
-// bitrateSweep asks the paper's "can C-ARQ let the AP use a higher bit
-// rate?" question.
-func (r runner) bitrateSweep() error {
-	var b strings.Builder
-	b.WriteString("A6: AP bit-rate sweep — losses grow with rate; does C-ARQ keep delivery ahead?\n\n")
-	b.WriteString("rate              pre-coop%%  post-coop%%  delivered/car/round\n")
-	for _, mod := range radio.Modulations() {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 8)
-		cfg.Seed = r.seed
-		cfg.Modulation = mod
-		// Higher PHY rates free airtime; keep the packet rate fixed so
-		// the comparison isolates the PER effect.
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		rows := report.Table1Rows(res)
-		var pre, post, delivered float64
-		for _, row := range rows {
-			pre += row.LostBeforePct()
-			post += row.LostAfterPct()
-			delivered += row.TxByAP.Mean() * (1 - row.LostAfterPct()/100)
-		}
-		n := float64(len(rows))
-		fmt.Fprintf(&b, "%-17s %9.1f  %10.1f  %19.1f\n", mod.Name, pre/n, post/n, delivered/n)
-	}
-	return r.write("ext_bitrate.txt", b.String())
-}
-
-// epidemicComparison pits C-ARQ against push-based epidemic flooding.
-func (r runner) epidemicComparison() error {
-	var b strings.Builder
-	b.WriteString("A7: C-ARQ vs epidemic flooding in the dark area\n\n")
-
-	run := func(name string, factory scenario.NodeFactory, coop bool) error {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 8)
-		cfg.Seed = r.seed
-		cfg.Coop = coop
-		cfg.Factory = factory
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		rows := report.Table1Rows(res)
-		var post float64
-		for _, row := range rows {
-			post += row.LostAfterPct()
-		}
-		o := report.OverheadSummary(res.Rounds)
-		fmt.Fprintf(&b, "%-10s mean residual loss=%.1f%%  recovery transmissions=%d (%d B)\n",
-			name, post/float64(len(rows)), o.ResponseTx+o.RequestTx, o.ResponseBytes+o.RequestBytes)
-		return nil
-	}
-
-	if err := run("C-ARQ", nil, true); err != nil {
-		return err
-	}
-	epidemicFactory := func(id packet.NodeID, engine *sim.Engine, port *mac.Station, seed int64, obs carq.Observer) (scenario.Node, error) {
-		return baseline.NewEpidemicNode(
-			baseline.DefaultEpidemicConfig(id), engine, port,
-			sim.Stream(seed, fmt.Sprintf("epidemic-%v", id)), obs)
-	}
-	if err := run("epidemic", epidemicFactory, true); err != nil {
-		return err
-	}
-	return r.write("ext_epidemic.txt", b.String())
-}
-
-// frameCombining evaluates the C-ARQ/FC extension (reference [12]): soft
-// combining of corrupted copies, in its natural regime of AP repeats.
-func (r runner) frameCombining() error {
-	var b strings.Builder
-	b.WriteString("A9: frame combining (C-ARQ/FC, reference [12])\n")
-	b.WriteString("Soft copies only exist when packets air more than once, so FC is paired with AP repeats.\n\n")
-	for _, tc := range []struct {
-		name    string
-		repeats int
-		fc      bool
-	}{
-		{"C-ARQ, 1x, no FC", 1, false},
-		{"C-ARQ, 2x, no FC", 2, false},
-		{"C-ARQ, 2x, FC", 2, true},
-	} {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 10)
-		cfg.Seed = r.seed
-		cfg.APRepeats = tc.repeats
-		cfg.FrameCombining = tc.fc
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		rows := report.Table1Rows(res)
-		var pre, post float64
-		for _, row := range rows {
-			pre += row.LostBeforePct()
-			post += row.LostAfterPct()
-		}
-		n := float64(len(rows))
-		fmt.Fprintf(&b, "%-20s mean pre-coop=%.1f%%  mean post-coop=%.1f%%\n", tc.name, pre/n, post/n)
-	}
-	return r.write("ext_combining.txt", b.String())
-}
-
-// adaptiveRepeats evaluates the cooperator-adaptive AP retransmission
-// scheme the paper's §3.2 leaves as future work, across platoon sizes.
-func (r runner) adaptiveRepeats() error {
-	var b strings.Builder
-	b.WriteString("A10: cooperator-adaptive AP retransmissions (paper §3.2 future work)\n")
-	b.WriteString("The AP overhears HELLOs and repeats more for poorly-connected cars.\n\n")
-	b.WriteString("cars  policy        post-coop%%\n")
-	for _, cars := range []int{1, 3} {
-		for _, tc := range []struct {
-			name     string
-			adaptive int
-			static_  int
-		}{
-			{"static 1x", 0, 1},
-			{"adaptive<=3", 3, 1},
-		} {
-			cfg := scenario.DefaultTestbed()
-			cfg.Rounds = min(r.rounds, 8)
-			cfg.Seed = r.seed
-			cfg.Cars = cars
-			cfg.APRepeats = tc.static_
-			cfg.AdaptiveAPRepeats = tc.adaptive
-			res, err := scenario.RunTestbed(cfg)
-			if err != nil {
-				return err
-			}
-			rows := report.Table1Rows(res)
-			var post float64
-			for _, row := range rows {
-				post += row.LostAfterPct()
-			}
-			fmt.Fprintf(&b, "%4d  %-12s %10.1f\n", cars, tc.name, post/float64(len(rows)))
-		}
-	}
-	return r.write("ext_adaptive.txt", b.String())
-}
-
-// corridor evaluates the Figure-1 multi-Infostation deployment: coverage
-// efficiency (held fraction of the receivable stream) with and without
-// cooperation.
-func (r runner) corridor() error {
-	var b strings.Builder
-	b.WriteString("A11: multi-Infostation corridor (the paper's Figure 1 deployment)\n\n")
-	for _, coop := range []bool{false, true} {
-		cfg := scenario.DefaultCorridor()
-		cfg.Rounds = min(r.rounds, 8)
-		cfg.Seed = r.seed
-		cfg.Coop = coop
-		res, err := scenario.RunCorridor(cfg)
-		if err != nil {
-			return err
-		}
-		mode := "no-coop"
-		if coop {
-			mode = "C-ARQ"
-		}
-		for _, car := range res.CarIDs {
-			eff := analysis.CoverageEfficiency(res.Rounds, car, res.CarIDs)
-			fmt.Fprintf(&b, "%-8s car %v: coverage efficiency %.3f\n", mode, car, eff)
-		}
-		b.WriteString("\n")
-	}
-	return r.write("ext_corridor.txt", b.String())
-}
-
-// recruitmentTTL sweeps the cooperator staleness timeout. The default
-// 3-beacon TTL lets shadowing fades on the platoon's weakest link (car 1
-// <-> car 3) evict recruitments mid-coverage, so stretches of overheard
-// packets are never buffered — the mechanism behind the tail car's
-// optimality gap in Figure 8. Longer TTLs nearly close it.
-func (r runner) recruitmentTTL() error {
-	var b strings.Builder
-	b.WriteString("A12: cooperator recruitment TTL vs the tail car's optimality gap\n\n")
-	b.WriteString("TTL    car3 mean gap   car3 post-coop%%\n")
-	for _, ttl := range []time.Duration{3 * time.Second, 5 * time.Second, 8 * time.Second, 20 * time.Second} {
-		ttl := ttl
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = min(r.rounds, 10)
-		cfg.Seed = r.seed
-		cfg.TuneCarq = func(c *carq.Config) { c.CandidateTTL = ttl }
-		res, err := scenario.RunTestbed(cfg)
-		if err != nil {
-			return err
-		}
-		lo, hi, ok := analysis.Window(res.Rounds, 3, res.CarIDs)
-		if !ok {
-			return fmt.Errorf("no window for car 3")
-		}
-		after := analysis.AfterCoopSeries(res.Rounds, 3, lo, hi)
-		joint := analysis.JointSeries(res.Rounds, 3, res.CarIDs, lo, hi)
-		_, meanGap := analysis.OptimalityGap(after, joint)
-		rows := report.Table1Rows(res)
-		fmt.Fprintf(&b, "%-6v %13.4f %17.1f\n", ttl, meanGap, rows[2].LostAfterPct())
-	}
-	return r.write("ablation_ttl.txt", b.String())
-}
-
-// recoveryDynamics renders how each car's missing list drains during the
-// Cooperative-ARQ phase — per-packet REQUEST cycling versus the batched
-// optimisation, on the same round.
-func (r runner) recoveryDynamics() error {
-	run := func(batch bool) (*scenario.TestbedResult, error) {
-		cfg := scenario.DefaultTestbed()
-		cfg.Rounds = 1
-		cfg.Seed = r.seed
-		cfg.BatchRequests = batch
-		return scenario.RunTestbed(cfg)
-	}
-	perPacket, err := run(false)
-	if err != nil {
-		return err
-	}
-	batched, err := run(true)
-	if err != nil {
-		return err
-	}
-	var series []*stats.Series
-	var b strings.Builder
-	b.WriteString("A13: recovery dynamics — missing packets vs time in the Cooperative-ARQ phase\n\n")
-	for _, tc := range []struct {
-		name string
-		res  *scenario.TestbedResult
-	}{
-		{"per-packet", perPacket},
-		{"batched", batched},
-	} {
-		for _, car := range tc.res.CarIDs {
-			s := analysis.RecoveryDynamics(tc.res.Rounds[0], car)
-			if s.Len() == 0 {
-				continue
-			}
-			s.Name = fmt.Sprintf("car %v (%s)", car, tc.name)
-			series = append(series, s)
-			half := analysis.HalfRecoveryTime(tc.res.Rounds[0], car)
-			fmt.Fprintf(&b, "%-22s initial missing=%3.0f  final=%3.0f  half-recovery=%.1fs\n",
-				s.Name, s.Y[0], s.Y[s.Len()-1], half)
-		}
-	}
-	chart := plot.Chart{
-		Title:  "Missing packets during the Cooperative-ARQ phase",
-		XLabel: "Seconds since phase entry",
-		YLabel: "Missing packets",
-		Series: series,
-	}
-	// Derive the Y range from the data (counts, not probabilities).
-	var maxY float64
-	for _, s := range series {
-		for _, y := range s.Y {
-			if y > maxY {
-				maxY = y
+	names := harness.Names()
+	if *exp != "all" {
+		names = names[:0]
+		for _, name := range strings.Split(*exp, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
 			}
 		}
 	}
-	chart.YMin, chart.YMax = 0, maxY*1.05
-	if err := r.write("ext_dynamics.svg", chart.SVG()); err != nil {
-		return err
+	if len(names) == 0 {
+		log.Fatalf("no experiments selected by -exp %q", *exp)
 	}
-	var dat strings.Builder
-	for _, s := range series {
-		dat.WriteString(s.GnuplotData())
-		dat.WriteString("\n\n")
+	if err := runner.Run(names); err != nil {
+		log.Fatal(err)
 	}
-	if err := r.write("ext_dynamics.dat", dat.String()); err != nil {
-		return err
-	}
-	return r.write("ext_dynamics.txt", b.String())
 }
 
-// highwaySweep reproduces the drive-thru loss-versus-speed relationship.
-func (r runner) highwaySweep() error {
-	var b strings.Builder
-	b.WriteString("A8: highway drive-thru — per-pass packet budget and losses vs speed\n\n")
-	b.WriteString("speed(km/h)  window(pkts)  pre-coop%%  post-coop%%\n")
-	var dat strings.Builder
-	dat.WriteString("# kmh window pre post\n")
-	for _, kmh := range []float64{30, 60, 90, 120} {
-		cfg := scenario.DefaultHighway()
-		cfg.Rounds = min(r.rounds, 6)
-		cfg.Seed = r.seed
-		cfg.SpeedMPS = kmh / 3.6
-		res, err := scenario.RunHighway(cfg)
-		if err != nil {
-			return err
+// printCatalogue renders the registry as the experiment catalogue.
+func printCatalogue(w *os.File) {
+	fmt.Fprintln(w, "Registered experiments (run order under -exp all):")
+	fmt.Fprintln(w)
+	for _, e := range harness.Experiments() {
+		name := e.Name
+		if len(e.Aliases) > 0 {
+			name += " (" + strings.Join(e.Aliases, ", ") + ")"
 		}
-		rows := report.Table1Rows(&scenario.TestbedResult{Rounds: res.Rounds, CarIDs: res.CarIDs})
-		var tx, pre, post float64
-		for _, row := range rows {
-			tx += row.TxByAP.Mean()
-			pre += row.LostBeforePct()
-			post += row.LostAfterPct()
-		}
-		n := float64(len(rows))
-		fmt.Fprintf(&b, "%11.0f  %12.0f  %9.1f  %10.1f\n", kmh, tx/n, pre/n, post/n)
-		fmt.Fprintf(&dat, "%g %g %g %g\n", kmh, tx/n, pre/n, post/n)
+		fmt.Fprintf(w, "  %-22s %s\n", name, e.Title)
 	}
-	if err := r.write("ext_highway.dat", dat.String()); err != nil {
-		return err
-	}
-	return r.write("ext_highway.txt", b.String())
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,789 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/baseline"
+	"repro/internal/carq"
+	"repro/internal/harness"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/plot"
+	"repro/internal/radio"
+	"repro/internal/report"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// The experiment catalogue. Registration order is the `-exp all` order.
+func init() {
+	harness.Register(harness.Experiment{
+		Name: "table1", Aliases: []string{"figures"},
+		Title: "Canonical urban testbed: Table 1 and Figures 2-8 from one set of traces",
+		Run:   table1AndFigures,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "batch",
+		Title: "A1: batched REQUEST optimisation vs per-packet REQUEST",
+		Run:   batchAblation,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "selection",
+		Title: "A2: cooperator selection policies",
+		Run:   selectionAblation,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "apretx",
+		Title: "A3: AP-side retransmissions vs pure C-ARQ",
+		Run:   apRetxAblation,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "platoon",
+		Title: "A4: platoon size sweep - cooperative diversity vs residual loss",
+		Run:   platoonSweep,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "download",
+		Title: "A5: AP visits to download a file, with and without cooperation",
+		Run:   download,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "bitrate",
+		Title: "A6: AP bit-rate sweep - does C-ARQ keep delivery ahead?",
+		Run:   bitrateSweep,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "epidemic",
+		Title: "A7: C-ARQ vs push-based epidemic flooding",
+		Run:   epidemicComparison,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "highway",
+		Title: "A8: highway drive-thru - packet budget and losses vs speed",
+		Run:   highwaySweep,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "combining",
+		Title: "A9: frame combining (C-ARQ/FC) with AP repeats",
+		Run:   frameCombining,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "adaptive",
+		Title: "A10: cooperator-adaptive AP retransmissions across platoon sizes",
+		Run:   adaptiveRepeats,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "corridor",
+		Title: "A11: multi-Infostation corridor coverage efficiency",
+		Run:   corridor,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "ttl",
+		Title: "A12: cooperator recruitment TTL vs the tail car's optimality gap",
+		Run:   recruitmentTTL,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "dynamics",
+		Title: "A13: recovery dynamics - missing packets vs time in the C-ARQ phase",
+		Run:   recoveryDynamics,
+	})
+	harness.Register(harness.Experiment{
+		Name:  "twoway",
+		Title: "A14: two-way highway - opposing-traffic relay cars serve the platoon",
+		Run:   twoWay,
+	})
+}
+
+// table1AndFigures runs the canonical urban testbed once and regenerates
+// Table 1 and Figures 3-8 from the same traces, exactly as the paper
+// post-processed one set of captures.
+func table1AndFigures(c *harness.Context) error {
+	cfg := scenario.DefaultTestbed()
+	cfg.Rounds = c.Rounds()
+	cfg.Seed = c.Seed()
+	res, err := c.Testbed("canonical", cfg)
+	if err != nil {
+		return err
+	}
+
+	if err := c.WriteFile("table1.txt", report.Table1(res)); err != nil {
+		return err
+	}
+	// The reproduction's Figure 2: the testbed map.
+	if err := c.WriteFile("fig2_map.svg", report.TestbedMapSVG()); err != nil {
+		return err
+	}
+
+	for i, flow := range res.CarIDs {
+		fig, err := report.NewReceptionFigure(res.Rounds, res.CarIDs, flow)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig%d", 3+i)
+		if err := c.WriteFile(name+".txt", fig.String()); err != nil {
+			return err
+		}
+		if err := c.WriteFile(name+".dat", fig.GnuplotData()); err != nil {
+			return err
+		}
+		if err := c.WriteFile(name+".svg", fig.SVG()); err != nil {
+			return err
+		}
+	}
+	for i, car := range res.CarIDs {
+		fig, err := report.NewCoopFigure(res.Rounds, res.CarIDs, car)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("fig%d", 6+i)
+		if err := c.WriteFile(name+".txt", fig.String()); err != nil {
+			return err
+		}
+		if err := c.WriteFile(name+".dat", fig.GnuplotData()); err != nil {
+			return err
+		}
+		if err := c.WriteFile(name+".svg", fig.SVG()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchAblation compares per-packet REQUESTs with the paper's proposed
+// batched-REQUEST optimisation: overhead and recovery latency.
+func batchAblation(c *harness.Context) error {
+	b := c.Batch()
+	arms := []bool{false, true}
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, batch := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(10)
+		cfg.Seed = c.Seed()
+		cfg.BatchRequests = batch
+		point := "per-packet"
+		if batch {
+			point = "batched"
+		}
+		results[i] = b.Testbed(point, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A1: batched REQUEST (all missing seqs in one frame) vs per-packet REQUEST\n\n")
+	for i, batch := range arms {
+		res := results[i]
+		name := "per-packet"
+		if batch {
+			name = "batched"
+		}
+		out.WriteString(report.FormatOverhead(name, report.OverheadSummary(res.Rounds)))
+		rows := report.Table1Rows(res)
+		var lat []float64
+		for _, car := range res.CarIDs {
+			lat = append(lat, analysis.LastRecoveryLatencies(res.Rounds, car)...)
+		}
+		fmt.Fprintf(&out, "%-24s post-coop loss: car1=%.1f%% car2=%.1f%% car3=%.1f%%  mean recovery latency=%.2fs (n=%d)\n\n",
+			"", rows[0].LostAfterPct(), rows[1].LostAfterPct(), rows[2].LostAfterPct(),
+			stats.Mean(lat), len(lat))
+	}
+	return c.WriteFile("ablation_batch.txt", out.String())
+}
+
+// selectionAblation compares cooperator-selection policies (the paper's
+// future-work question).
+func selectionAblation(c *harness.Context) error {
+	arms := []struct {
+		name string
+		sel  carq.Selection
+	}{
+		{"all one-hop (paper)", carq.SelectAll{}},
+		{"best-1 by signal", carq.SelectBestK{K: 1}},
+		{"best-2 by signal", carq.SelectBestK{K: 2}},
+		{"freshest-1", carq.SelectFreshestK{K: 1}},
+	}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(10)
+		cfg.Seed = c.Seed()
+		cfg.Selection = tc.sel
+		results[i] = b.Testbed(tc.name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A2: cooperator selection policy\n\n")
+	for i, tc := range arms {
+		rows := report.Table1Rows(results[i])
+		var post, impr float64
+		for _, row := range rows {
+			post += row.LostAfterPct()
+			impr += row.Improvement()
+		}
+		o := report.OverheadSummary(results[i].Rounds)
+		fmt.Fprintf(&out, "%-22s mean post-coop loss=%.1f%% mean improvement=%.2f responses=%d\n",
+			tc.name, post/float64(len(rows)), impr/float64(len(rows)), o.ResponseTx)
+	}
+	return c.WriteFile("ablation_selection.txt", out.String())
+}
+
+// apRetxAblation compares pure C-ARQ with spending coverage time on
+// AP-side retransmissions.
+func apRetxAblation(c *harness.Context) error {
+	arms := []struct {
+		name    string
+		repeats int
+		coop    bool
+	}{
+		{"no-coop, 1x", 1, false},
+		{"no-coop, 2x repeats", 2, false},
+		{"no-coop, 3x repeats", 3, false},
+		{"C-ARQ,  1x (paper)", 1, true},
+	}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(10)
+		cfg.Seed = c.Seed()
+		cfg.APRepeats = tc.repeats
+		cfg.Coop = tc.coop
+		results[i] = b.Testbed(tc.name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A3: AP-side retransmissions vs pure C-ARQ\n")
+	out.WriteString("(repeats>1 divides the AP's new-data budget; distinct packets delivered per pass matter)\n\n")
+	for i, tc := range arms {
+		res := results[i]
+		// Distinct packets held at the end per car per round, and the
+		// AP airtime spent. With repeats the AP sends the same seq
+		// several times, so "held" must be compared against distinct
+		// seqs offered.
+		var held, offered float64
+		for _, round := range res.Rounds {
+			for _, car := range res.CarIDs {
+				held += float64(len(round.HeldSet(car)))
+				offered += float64(len(round.DataSentSeqs(car)))
+			}
+		}
+		n := float64(len(res.Rounds) * len(res.CarIDs))
+		fmt.Fprintf(&out, "%-22s distinct held/car/round=%.1f of %.1f offered (%.1f%%)\n",
+			tc.name, held/n, offered/n, 100*held/offered)
+	}
+	return c.WriteFile("ablation_apretx.txt", out.String())
+}
+
+// platoonSweep measures residual loss versus platoon size (diversity).
+func platoonSweep(c *harness.Context) error {
+	const maxCars = 6
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, maxCars)
+	for cars := 1; cars <= maxCars; cars++ {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(8)
+		cfg.Seed = c.Seed()
+		cfg.Cars = cars
+		results[cars-1] = b.Testbed(fmt.Sprintf("%d-cars", cars), cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A4: platoon size sweep — cooperative diversity vs residual loss\n\n")
+	out.WriteString("cars  pre-coop%%  post-coop%%  improvement\n")
+	var dat strings.Builder
+	dat.WriteString("# cars pre post\n")
+	for cars := 1; cars <= maxCars; cars++ {
+		rows := report.Table1Rows(results[cars-1])
+		var pre, post float64
+		for _, row := range rows {
+			pre += row.LostBeforePct()
+			post += row.LostAfterPct()
+		}
+		pre /= float64(len(rows))
+		post /= float64(len(rows))
+		impr := 0.0
+		if pre > 0 {
+			impr = 1 - post/pre
+		}
+		fmt.Fprintf(&out, "%4d  %9.1f  %10.1f  %11.2f\n", cars, pre, post, impr)
+		fmt.Fprintf(&dat, "%d %g %g\n", cars, pre, post)
+	}
+	if err := c.WriteFile("ext_platoon.dat", dat.String()); err != nil {
+		return err
+	}
+	return c.WriteFile("ext_platoon.txt", out.String())
+}
+
+// download measures AP visits needed to assemble a file, with and without
+// cooperation (the paper's headline future-work metric).
+func download(c *harness.Context) error {
+	arms := []bool{false, true}
+	b := c.Batch()
+	results := make([]**scenario.DownloadResult, len(arms))
+	for i, coop := range arms {
+		cfg := scenario.DefaultDownload()
+		cfg.Seed = c.Seed()
+		cfg.Coop = coop
+		point := "no-coop"
+		if coop {
+			point = "C-ARQ"
+		}
+		results[i] = b.Download(point, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A5: AP visits to download a file (220 blocks/car)\n\n")
+	for i, coop := range arms {
+		res := *results[i]
+		mode := "no-coop"
+		if coop {
+			mode = "C-ARQ"
+		}
+		for _, car := range res.Cars {
+			fmt.Fprintf(&out, "%-8s car %v: completed=%v visits=%d time=%v blocks=%d/%d\n",
+				mode, car.Car, car.Completed, car.Visits, car.CompletionTime.Round(time.Second), car.Blocks, res.Config.FileBlocks)
+		}
+		out.WriteString("\n")
+	}
+	return c.WriteFile("ext_download.txt", out.String())
+}
+
+// bitrateSweep asks the paper's "can C-ARQ let the AP use a higher bit
+// rate?" question.
+func bitrateSweep(c *harness.Context) error {
+	mods := radio.Modulations()
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(mods))
+	for i, mod := range mods {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(8)
+		cfg.Seed = c.Seed()
+		cfg.Modulation = mod
+		// Higher PHY rates free airtime; keep the packet rate fixed so
+		// the comparison isolates the PER effect.
+		results[i] = b.Testbed(mod.Name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A6: AP bit-rate sweep — losses grow with rate; does C-ARQ keep delivery ahead?\n\n")
+	out.WriteString("rate              pre-coop%%  post-coop%%  delivered/car/round\n")
+	for i, mod := range mods {
+		rows := report.Table1Rows(results[i])
+		var pre, post, delivered float64
+		for _, row := range rows {
+			pre += row.LostBeforePct()
+			post += row.LostAfterPct()
+			delivered += row.TxByAP.Mean() * (1 - row.LostAfterPct()/100)
+		}
+		n := float64(len(rows))
+		fmt.Fprintf(&out, "%-17s %9.1f  %10.1f  %19.1f\n", mod.Name, pre/n, post/n, delivered/n)
+	}
+	return c.WriteFile("ext_bitrate.txt", out.String())
+}
+
+// epidemicComparison pits C-ARQ against push-based epidemic flooding.
+func epidemicComparison(c *harness.Context) error {
+	epidemicFactory := func(id packet.NodeID, engine *sim.Engine, port *mac.Station, seed int64, obs carq.Observer) (scenario.Node, error) {
+		return baseline.NewEpidemicNode(
+			baseline.DefaultEpidemicConfig(id), engine, port,
+			sim.Stream(seed, fmt.Sprintf("epidemic-%v", id)), obs)
+	}
+	arms := []struct {
+		name    string
+		factory scenario.NodeFactory
+	}{
+		{"C-ARQ", nil},
+		{"epidemic", epidemicFactory},
+	}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(8)
+		cfg.Seed = c.Seed()
+		cfg.Coop = true
+		cfg.Factory = tc.factory
+		results[i] = b.Testbed(tc.name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A7: C-ARQ vs epidemic flooding in the dark area\n\n")
+	for i, tc := range arms {
+		rows := report.Table1Rows(results[i])
+		var post float64
+		for _, row := range rows {
+			post += row.LostAfterPct()
+		}
+		o := report.OverheadSummary(results[i].Rounds)
+		fmt.Fprintf(&out, "%-10s mean residual loss=%.1f%%  recovery transmissions=%d (%d B)\n",
+			tc.name, post/float64(len(rows)), o.ResponseTx+o.RequestTx, o.ResponseBytes+o.RequestBytes)
+	}
+	return c.WriteFile("ext_epidemic.txt", out.String())
+}
+
+// highwaySweep reproduces the drive-thru loss-versus-speed relationship.
+func highwaySweep(c *harness.Context) error {
+	speeds := []float64{30, 60, 90, 120}
+	b := c.Batch()
+	results := make([]*scenario.HighwayResult, len(speeds))
+	for i, kmh := range speeds {
+		cfg := scenario.DefaultHighway()
+		cfg.Rounds = c.CappedRounds(6)
+		cfg.Seed = c.Seed()
+		cfg.SpeedMPS = kmh / 3.6
+		results[i] = b.Highway(fmt.Sprintf("%.0f-kmh", kmh), cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A8: highway drive-thru — per-pass packet budget and losses vs speed\n\n")
+	out.WriteString("speed(km/h)  window(pkts)  pre-coop%%  post-coop%%\n")
+	var dat strings.Builder
+	dat.WriteString("# kmh window pre post\n")
+	for i, kmh := range speeds {
+		res := results[i]
+		rows := report.RowsFor(res.Rounds, res.CarIDs)
+		var tx, pre, post float64
+		for _, row := range rows {
+			tx += row.TxByAP.Mean()
+			pre += row.LostBeforePct()
+			post += row.LostAfterPct()
+		}
+		n := float64(len(rows))
+		fmt.Fprintf(&out, "%11.0f  %12.0f  %9.1f  %10.1f\n", kmh, tx/n, pre/n, post/n)
+		fmt.Fprintf(&dat, "%g %g %g %g\n", kmh, tx/n, pre/n, post/n)
+	}
+	if err := c.WriteFile("ext_highway.dat", dat.String()); err != nil {
+		return err
+	}
+	return c.WriteFile("ext_highway.txt", out.String())
+}
+
+// frameCombining evaluates the C-ARQ/FC extension (reference [12]): soft
+// combining of corrupted copies, in its natural regime of AP repeats.
+func frameCombining(c *harness.Context) error {
+	arms := []struct {
+		name    string
+		repeats int
+		fc      bool
+	}{
+		{"C-ARQ, 1x, no FC", 1, false},
+		{"C-ARQ, 2x, no FC", 2, false},
+		{"C-ARQ, 2x, FC", 2, true},
+	}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(10)
+		cfg.Seed = c.Seed()
+		cfg.APRepeats = tc.repeats
+		cfg.FrameCombining = tc.fc
+		results[i] = b.Testbed(tc.name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A9: frame combining (C-ARQ/FC, reference [12])\n")
+	out.WriteString("Soft copies only exist when packets air more than once, so FC is paired with AP repeats.\n\n")
+	for i, tc := range arms {
+		rows := report.Table1Rows(results[i])
+		var pre, post float64
+		for _, row := range rows {
+			pre += row.LostBeforePct()
+			post += row.LostAfterPct()
+		}
+		n := float64(len(rows))
+		fmt.Fprintf(&out, "%-20s mean pre-coop=%.1f%%  mean post-coop=%.1f%%\n", tc.name, pre/n, post/n)
+	}
+	return c.WriteFile("ext_combining.txt", out.String())
+}
+
+// adaptiveRepeats evaluates the cooperator-adaptive AP retransmission
+// scheme the paper's §3.2 leaves as future work, across platoon sizes.
+func adaptiveRepeats(c *harness.Context) error {
+	type arm struct {
+		cars     int
+		name     string
+		adaptive int
+		static   int
+	}
+	var arms []arm
+	for _, cars := range []int{1, 3} {
+		arms = append(arms,
+			arm{cars, "static 1x", 0, 1},
+			arm{cars, "adaptive<=3", 3, 1},
+		)
+	}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(8)
+		cfg.Seed = c.Seed()
+		cfg.Cars = tc.cars
+		cfg.APRepeats = tc.static
+		cfg.AdaptiveAPRepeats = tc.adaptive
+		results[i] = b.Testbed(fmt.Sprintf("%d-cars %s", tc.cars, tc.name), cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A10: cooperator-adaptive AP retransmissions (paper §3.2 future work)\n")
+	out.WriteString("The AP overhears HELLOs and repeats more for poorly-connected cars.\n\n")
+	out.WriteString("cars  policy        post-coop%%\n")
+	for i, tc := range arms {
+		rows := report.Table1Rows(results[i])
+		var post float64
+		for _, row := range rows {
+			post += row.LostAfterPct()
+		}
+		fmt.Fprintf(&out, "%4d  %-12s %10.1f\n", tc.cars, tc.name, post/float64(len(rows)))
+	}
+	return c.WriteFile("ext_adaptive.txt", out.String())
+}
+
+// corridor evaluates the Figure-1 multi-Infostation deployment: coverage
+// efficiency (held fraction of the receivable stream) with and without
+// cooperation.
+func corridor(c *harness.Context) error {
+	arms := []bool{false, true}
+	b := c.Batch()
+	results := make([]*scenario.CorridorResult, len(arms))
+	for i, coop := range arms {
+		cfg := scenario.DefaultCorridor()
+		cfg.Rounds = c.CappedRounds(8)
+		cfg.Seed = c.Seed()
+		cfg.Coop = coop
+		point := "no-coop"
+		if coop {
+			point = "C-ARQ"
+		}
+		results[i] = b.Corridor(point, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A11: multi-Infostation corridor (the paper's Figure 1 deployment)\n\n")
+	for i, coop := range arms {
+		res := results[i]
+		mode := "no-coop"
+		if coop {
+			mode = "C-ARQ"
+		}
+		for _, car := range res.CarIDs {
+			eff := analysis.CoverageEfficiency(res.Rounds, car, res.CarIDs)
+			fmt.Fprintf(&out, "%-8s car %v: coverage efficiency %.3f\n", mode, car, eff)
+		}
+		out.WriteString("\n")
+	}
+	return c.WriteFile("ext_corridor.txt", out.String())
+}
+
+// recruitmentTTL sweeps the cooperator staleness timeout. The default
+// 3-beacon TTL lets shadowing fades on the platoon's weakest link (car 1
+// <-> car 3) evict recruitments mid-coverage, so stretches of overheard
+// packets are never buffered — the mechanism behind the tail car's
+// optimality gap in Figure 8. Longer TTLs nearly close it.
+func recruitmentTTL(c *harness.Context) error {
+	ttls := []time.Duration{3 * time.Second, 5 * time.Second, 8 * time.Second, 20 * time.Second}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(ttls))
+	for i, ttl := range ttls {
+		ttl := ttl
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = c.CappedRounds(10)
+		cfg.Seed = c.Seed()
+		cfg.TuneCarq = func(cc *carq.Config) { cc.CandidateTTL = ttl }
+		results[i] = b.Testbed(ttl.String(), cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A12: cooperator recruitment TTL vs the tail car's optimality gap\n\n")
+	out.WriteString("TTL    car3 mean gap   car3 post-coop%%\n")
+	for i, ttl := range ttls {
+		res := results[i]
+		lo, hi, ok := analysis.Window(res.Rounds, 3, res.CarIDs)
+		if !ok {
+			return fmt.Errorf("no window for car 3")
+		}
+		after := analysis.AfterCoopSeries(res.Rounds, 3, lo, hi)
+		joint := analysis.JointSeries(res.Rounds, 3, res.CarIDs, lo, hi)
+		_, meanGap := analysis.OptimalityGap(after, joint)
+		rows := report.Table1Rows(res)
+		fmt.Fprintf(&out, "%-6v %13.4f %17.1f\n", ttl, meanGap, rows[2].LostAfterPct())
+	}
+	return c.WriteFile("ablation_ttl.txt", out.String())
+}
+
+// recoveryDynamics renders how each car's missing list drains during the
+// Cooperative-ARQ phase — per-packet REQUEST cycling versus the batched
+// optimisation, on the same round.
+func recoveryDynamics(c *harness.Context) error {
+	arms := []bool{false, true}
+	b := c.Batch()
+	results := make([]*scenario.TestbedResult, len(arms))
+	for i, batch := range arms {
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = 1
+		cfg.Seed = c.Seed()
+		cfg.BatchRequests = batch
+		point := "per-packet"
+		if batch {
+			point = "batched"
+		}
+		results[i] = b.Testbed(point, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var series []*stats.Series
+	var out strings.Builder
+	out.WriteString("A13: recovery dynamics — missing packets vs time in the Cooperative-ARQ phase\n\n")
+	for i, batch := range arms {
+		res := results[i]
+		name := "per-packet"
+		if batch {
+			name = "batched"
+		}
+		for _, car := range res.CarIDs {
+			s := analysis.RecoveryDynamics(res.Rounds[0], car)
+			if s.Len() == 0 {
+				continue
+			}
+			s.Name = fmt.Sprintf("car %v (%s)", car, name)
+			series = append(series, s)
+			half := analysis.HalfRecoveryTime(res.Rounds[0], car)
+			fmt.Fprintf(&out, "%-22s initial missing=%3.0f  final=%3.0f  half-recovery=%.1fs\n",
+				s.Name, s.Y[0], s.Y[s.Len()-1], half)
+		}
+	}
+	chart := plot.Chart{
+		Title:  "Missing packets during the Cooperative-ARQ phase",
+		XLabel: "Seconds since phase entry",
+		YLabel: "Missing packets",
+		Series: series,
+	}
+	// Derive the Y range from the data (counts, not probabilities).
+	chart.FitY(0.05)
+	if err := c.WriteFile("ext_dynamics.svg", chart.SVG()); err != nil {
+		return err
+	}
+	var dat strings.Builder
+	for _, s := range series {
+		dat.WriteString(s.GnuplotData())
+		dat.WriteString("\n\n")
+	}
+	if err := c.WriteFile("ext_dynamics.dat", dat.String()); err != nil {
+		return err
+	}
+	return c.WriteFile("ext_dynamics.txt", out.String())
+}
+
+// twoWay evaluates the two-way highway extension: opposing-traffic relay
+// cars that passed the AP after the platoon meet it head-on on the return
+// leg and serve its Cooperative-ARQ REQUESTs.
+func twoWay(c *harness.Context) error {
+	arms := []struct {
+		name   string
+		coop   bool
+		relays int
+	}{
+		{"no-coop", false, 4},
+		{"platoon-only", true, 0},
+		{"opposing-4", true, 4},
+	}
+	b := c.Batch()
+	results := make([]*scenario.TwoWayResult, len(arms))
+	for i, tc := range arms {
+		cfg := scenario.DefaultTwoWay()
+		cfg.Rounds = c.CappedRounds(6)
+		cfg.Seed = c.Seed()
+		cfg.Coop = tc.coop
+		cfg.RelayCars = tc.relays
+		results[i] = b.TwoWay(tc.name, cfg)
+	}
+	if err := b.Go(); err != nil {
+		return err
+	}
+
+	var out strings.Builder
+	out.WriteString("A14: two-way highway — opposing-traffic relay cars serve the platoon's C-ARQ phase\n")
+	out.WriteString("The AP broadcasts a fixed carousel; relay cars cross coverage after the platoon\n")
+	out.WriteString("and stream past it head-on while it recovers in the dark return leg.\n\n")
+	out.WriteString("arm            pre-coop%  post-coop%  recoveries  from-relays\n")
+	var dat strings.Builder
+	dat.WriteString("# relays pre post relayshare\n")
+	for i, tc := range arms {
+		res := results[i]
+		rows := report.RowsFor(res.Rounds, res.CarIDs)
+		var pre, post float64
+		for _, row := range rows {
+			pre += row.LostBeforePct()
+			post += row.LostAfterPct()
+		}
+		n := float64(len(rows))
+		relay := make(map[packet.NodeID]bool, len(res.RelayIDs))
+		for _, id := range res.RelayIDs {
+			relay[id] = true
+		}
+		var total, fromRelay int
+		for _, round := range res.Rounds {
+			for _, rec := range round.Recovered {
+				total++
+				if relay[rec.From] {
+					fromRelay++
+				}
+			}
+		}
+		fmt.Fprintf(&out, "%-14s %9.1f  %10.1f  %10d  %11d\n",
+			tc.name, pre/n, post/n, total, fromRelay)
+		if tc.coop {
+			share := 0.0
+			if total > 0 {
+				share = float64(fromRelay) / float64(total)
+			}
+			fmt.Fprintf(&dat, "%d %g %g %g\n", tc.relays, pre/n, post/n, share)
+		}
+	}
+	if err := c.WriteFile("ext_twoway.dat", dat.String()); err != nil {
+		return err
+	}
+	return c.WriteFile("ext_twoway.txt", out.String())
+}

@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Config parameterises one harness run.
+type Config struct {
+	// Rounds is the requested round count for the canonical experiments;
+	// studies may cap it per point (see Context.CappedRounds).
+	Rounds int
+	// Seed roots all randomness. Every work unit derives its own
+	// deterministic streams from it.
+	Seed int64
+	// OutDir receives every report, data series and the manifest.
+	OutDir string
+	// Workers bounds concurrent work units; <= 0 means GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Runner executes registered experiments through a shared worker pool and
+// accumulates the run manifest.
+type Runner struct {
+	cfg      Config
+	pool     *Pool
+	manifest *Manifest
+}
+
+// NewRunner validates cfg, creates the output directory and returns a
+// ready runner.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("harness: non-positive rounds %d", cfg.Rounds)
+	}
+	if cfg.OutDir == "" {
+		return nil, fmt.Errorf("harness: empty output directory")
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: creating %s: %w", cfg.OutDir, err)
+	}
+	pool := NewPool(cfg.Workers)
+	return &Runner{
+		cfg:  cfg,
+		pool: pool,
+		manifest: &Manifest{
+			Schema:      ManifestSchema,
+			GeneratedAt: nowRFC3339(),
+			Seed:        cfg.Seed,
+			Rounds:      cfg.Rounds,
+			Workers:     pool.Workers(),
+		},
+	}, nil
+}
+
+// Workers reports the effective pool width.
+func (r *Runner) Workers() int { return r.pool.Workers() }
+
+// Manifest returns the accumulated manifest.
+func (r *Runner) Manifest() *Manifest { return r.manifest }
+
+// Run resolves and executes the named experiments in order, then writes
+// the manifest. Unknown names fail before anything runs.
+func (r *Runner) Run(names []string) error {
+	exps := make([]*Experiment, 0, len(names))
+	seen := make(map[*Experiment]bool, len(names))
+	for _, name := range names {
+		e, ok := Lookup(name)
+		if !ok {
+			return fmt.Errorf("harness: unknown experiment %q (have %v)", name, AllNames())
+		}
+		// Aliases and repeats resolve to one experiment; run it once
+		// (the monolith likewise shared one run for table1/figures).
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		exps = append(exps, e)
+	}
+	for _, e := range exps {
+		if err := r.runOne(e); err != nil {
+			// Record the failure before bailing so partial runs stay
+			// diagnosable from the manifest alone.
+			if werr := r.WriteManifest(); werr != nil {
+				r.logf("manifest: %v", werr)
+			}
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+	}
+	return r.WriteManifest()
+}
+
+func (r *Runner) runOne(e *Experiment) error {
+	rec := &ExperimentRecord{
+		Name:   e.Name,
+		Title:  e.Title,
+		Seed:   r.cfg.Seed,
+		Rounds: r.cfg.Rounds,
+	}
+	r.manifest.Experiments = append(r.manifest.Experiments, rec)
+	ctx := &Context{runner: r, rec: rec}
+	start := time.Now()
+	err := e.Run(ctx)
+	rec.WallMS = time.Since(start).Milliseconds()
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	return err
+}
+
+// WriteManifest writes the manifest to <OutDir>/manifest.json.
+func (r *Runner) WriteManifest() error {
+	return r.manifest.WriteManifest(filepath.Join(r.cfg.OutDir, "manifest.json"))
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Logf != nil {
+		r.cfg.Logf(format, args...)
+	}
+}
+
+// Unit is one independent piece of simulation work: a
+// (scenario, parameter-point, round) triple. Units must not share
+// mutable state; the pool may run them in any order and on any worker.
+type Unit struct {
+	Scenario string
+	Point    string
+	Round    int
+	Run      func() error
+}
+
+// Context is an experiment's view of the runner: deterministic seeds,
+// capped rounds, pooled unit execution and manifest-recorded output.
+type Context struct {
+	runner *Runner
+	rec    *ExperimentRecord
+}
+
+// Rounds returns the run's requested round count.
+func (c *Context) Rounds() int { return c.runner.cfg.Rounds }
+
+// CappedRounds caps the requested rounds at n, for the ablation studies
+// that historically bounded their cost.
+func (c *Context) CappedRounds(n int) int {
+	if c.Rounds() < n {
+		return c.Rounds()
+	}
+	return n
+}
+
+// Seed returns the run's root seed. Studies put it in their scenario
+// configs; each round function then derives its own streams from it and
+// the round index alone (sim.SeedFor), so any unit can be re-run in
+// isolation and scheduling can never perturb results.
+func (c *Context) Seed() int64 { return c.runner.cfg.Seed }
+
+// Logf emits a progress line prefixed with the experiment name.
+func (c *Context) Logf(format string, args ...any) {
+	c.runner.logf("%s: "+format, append([]any{c.rec.Name}, args...)...)
+}
+
+// RunUnits executes the units on the shared pool and records the
+// decomposition in the manifest. Results must be communicated by each
+// unit writing to its own slot in caller-owned storage.
+func (c *Context) RunUnits(units []Unit) error {
+	for _, u := range units {
+		c.recordPoint(u.Scenario, u.Point)
+	}
+	c.rec.Units += len(units)
+	return c.runner.pool.Do(len(units), func(i int) error {
+		u := units[i]
+		if err := u.Run(); err != nil {
+			return fmt.Errorf("%s/%s round %d: %w", u.Scenario, u.Point, u.Round, err)
+		}
+		return nil
+	})
+}
+
+func (c *Context) recordPoint(scenario, point string) {
+	for _, p := range c.rec.Points {
+		if p.Scenario == scenario && p.Point == point {
+			p.Rounds++
+			return
+		}
+	}
+	c.rec.Points = append(c.rec.Points, &PointRecord{Scenario: scenario, Point: point, Rounds: 1})
+}
+
+// WriteFile writes content to the run's output directory and records it
+// (with size and content hash) in the manifest.
+func (c *Context) WriteFile(name, content string) error {
+	path := filepath.Join(c.runner.cfg.OutDir, name)
+	data := []byte(content)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	c.rec.Outputs = append(c.rec.Outputs, newOutputRecord(name, data))
+	c.runner.logf("wrote %s", path)
+	return nil
+}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/scenario"
+)
+
+func TestRegistryLookupAndOrder(t *testing.T) {
+	Register(Experiment{Name: "reg-a", Title: "A", Aliases: []string{"reg-a-alias"}, Run: func(*Context) error { return nil }})
+	Register(Experiment{Name: "reg-b", Title: "B", Run: func(*Context) error { return nil }})
+
+	if _, ok := Lookup("reg-a"); !ok {
+		t.Fatal("reg-a not found")
+	}
+	if e, ok := Lookup("reg-a-alias"); !ok || e.Name != "reg-a" {
+		t.Fatalf("alias lookup = %v, %v", e, ok)
+	}
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		switch n {
+		case "reg-a":
+			ia = i
+		case "reg-b":
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("registration order lost: %v", names)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(Experiment{Name: "reg-dup", Run: func(*Context) error { return nil }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Experiment{Name: "reg-dup", Run: func(*Context) error { return nil }})
+}
+
+func TestPoolDoFillsAllSlots(t *testing.T) {
+	p := NewPool(4)
+	const n = 100
+	out := make([]int, n)
+	err := p.Do(n, func(i int) error {
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestPoolDoBoundsConcurrency(t *testing.T) {
+	const width = 3
+	p := NewPool(width)
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	err := p.Do(50, func(int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > max.Load() {
+			max.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > width {
+		t.Fatalf("observed %d concurrent units, want <= %d", m, width)
+	}
+}
+
+func TestPoolDoReturnsLowestIndexError(t *testing.T) {
+	p := NewPool(1)
+	boom := errors.New("boom")
+	err := p.Do(10, func(i int) error {
+		if i >= 3 {
+			return fmt.Errorf("unit %d: %w", i, boom)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "unit 3: boom" {
+		t.Fatalf("err = %v, want unit 3", err)
+	}
+}
+
+// TestRunDedupsAliasesAndRepeats checks that names resolving to the same
+// experiment (aliases, accidental repeats) run it once.
+func TestRunDedupsAliasesAndRepeats(t *testing.T) {
+	var runs atomic.Int64
+	Register(Experiment{
+		Name:    "reg-dedup",
+		Aliases: []string{"reg-dedup-alias"},
+		Run: func(*Context) error {
+			runs.Add(1)
+			return nil
+		},
+	})
+	r := newTestRunner(t, 1)
+	if err := r.Run([]string{"reg-dedup", "reg-dedup-alias", "reg-dedup"}); err != nil {
+		t.Fatal(err)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("experiment ran %d times, want 1", n)
+	}
+	if len(r.Manifest().Experiments) != 1 {
+		t.Fatalf("manifest records = %d, want 1", len(r.Manifest().Experiments))
+	}
+}
+
+// TestBatchReuseAfterConfigError checks that a Batch is clean again
+// after Go reports a config error from a previous accumulation.
+func TestBatchReuseAfterConfigError(t *testing.T) {
+	r := newTestRunner(t, 1)
+	c := &Context{runner: r, rec: &ExperimentRecord{}}
+	b := c.Batch()
+	bad := scenario.TestbedConfig{} // zero rounds/cars: rejected
+	b.Testbed("bad", bad)
+	if err := b.Go(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err := b.Go(); err != nil {
+		t.Fatalf("stale config error survived reset: %v", err)
+	}
+}
+
+func newTestRunner(t *testing.T, rounds int) *Runner {
+	t.Helper()
+	r, err := NewRunner(Config{Rounds: rounds, Seed: 1, OutDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunnerWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewRunner(Config{Rounds: 3, Seed: 7, OutDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register(Experiment{
+		Name:  "reg-manifest-probe",
+		Title: "writes one file through two units",
+		Run: func(c *Context) error {
+			if err := c.RunUnits([]Unit{
+				{Scenario: "s", Point: "p", Round: 0, Run: func() error { return nil }},
+				{Scenario: "s", Point: "p", Round: 1, Run: func() error { return nil }},
+			}); err != nil {
+				return err
+			}
+			return c.WriteFile("probe.txt", "hello\n")
+		},
+	})
+	if err := r.Run([]string{"reg-manifest-probe"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, "probe.txt")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadManifest(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seed != 7 || m.Rounds != 3 || m.Workers != 2 {
+		t.Fatalf("manifest header = %+v", m)
+	}
+	if len(m.Experiments) != 1 {
+		t.Fatalf("experiments = %d", len(m.Experiments))
+	}
+	rec := m.Experiments[0]
+	if rec.Name != "reg-manifest-probe" || rec.Units != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.Outputs) != 1 || rec.Outputs[0].File != "probe.txt" || rec.Outputs[0].Bytes != 6 || rec.Outputs[0].SHA256 == "" {
+		t.Fatalf("outputs = %+v", rec.Outputs[0])
+	}
+	if len(rec.Points) != 1 || rec.Points[0].Rounds != 2 {
+		t.Fatalf("points = %+v", rec.Points)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := newTestRunner(t, 1)
+	if err := r.Run([]string{"no-such-study"}); err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// TestBatchTestbedMatchesRunTestbed is the harness half of the
+// determinism contract: decomposing a testbed experiment into pooled
+// work units must reproduce scenario.RunTestbed bit-for-bit.
+func TestBatchTestbedMatchesRunTestbed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	cfg := scenario.DefaultTestbed()
+	cfg.Rounds = 2
+	cfg.Seed = 3
+
+	direct, err := scenario.RunTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewRunner(Config{Rounds: 2, Seed: 3, OutDir: t.TempDir(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Context{runner: r, rec: &ExperimentRecord{}}
+	pooled, err := c.Testbed("canonical", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := analysis.Table1(direct.Rounds, direct.CarIDs)
+	got := analysis.Table1(pooled.Rounds, pooled.CarIDs)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("pooled testbed diverges from direct run:\n%+v\nvs\n%+v", want, got)
+	}
+	if pooled.RoundDuration != direct.RoundDuration {
+		t.Fatalf("round duration %v vs %v", pooled.RoundDuration, direct.RoundDuration)
+	}
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// ManifestSchema versions the manifest layout for downstream tooling.
+const ManifestSchema = 1
+
+// Manifest is the machine-readable record of one harness run, written to
+// <out>/manifest.json. Output hashes let tooling verify byte-identical
+// reproduction across worker counts and code changes.
+type Manifest struct {
+	Schema      int    `json:"schema"`
+	GeneratedAt string `json:"generated_at"`
+	Seed        int64  `json:"seed"`
+	Rounds      int    `json:"rounds"`
+	Workers     int    `json:"workers"`
+	// Experiments appear in execution order.
+	Experiments []*ExperimentRecord `json:"experiments"`
+}
+
+// ExperimentRecord describes one executed experiment.
+type ExperimentRecord struct {
+	Name   string `json:"name"`
+	Title  string `json:"title"`
+	Seed   int64  `json:"seed"`
+	Rounds int    `json:"rounds"`
+	// Points summarises the work decomposition: one entry per
+	// (scenario, parameter-point) pair, in submission order.
+	Points []*PointRecord `json:"points,omitempty"`
+	// Units is the total number of independent work units executed.
+	Units  int   `json:"units"`
+	WallMS int64 `json:"wall_ms"`
+	// Outputs lists the files the experiment wrote, in write order.
+	Outputs []*OutputRecord `json:"outputs,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// PointRecord is one parameter point of one scenario.
+type PointRecord struct {
+	Scenario string `json:"scenario"`
+	Point    string `json:"point"`
+	Rounds   int    `json:"rounds"`
+}
+
+// OutputRecord is one file written by an experiment.
+type OutputRecord struct {
+	File   string `json:"file"`
+	Bytes  int    `json:"bytes"`
+	SHA256 string `json:"sha256"`
+}
+
+// WriteManifest serialises the manifest to path with a trailing newline.
+func (m *Manifest) WriteManifest(path string) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("harness: manifest: %w", err)
+	}
+	return nil
+}
+
+// ReadManifest loads a manifest written by WriteManifest.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("harness: manifest %s: %w", filepath.Base(path), err)
+	}
+	return &m, nil
+}
+
+func newOutputRecord(name string, content []byte) *OutputRecord {
+	sum := sha256.Sum256(content)
+	return &OutputRecord{File: name, Bytes: len(content), SHA256: hex.EncodeToString(sum[:])}
+}
+
+func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds simulation concurrency. One pool is shared by every
+// experiment in a run, so the hardware stays saturated across studies
+// without oversubscription.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of the given width; workers <= 0 defaults to
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do runs fn(0..n-1) on up to Workers goroutines and waits for all of
+// them. Workers claim indices from a shared counter, so the schedule is
+// work-stealing; determinism comes from fn writing only to its own index.
+// The returned error is the lowest-index failure, independent of which
+// goroutine observed its error first.
+func (p *Pool) Do(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Bool
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// Batch accumulates (scenario, parameter-point, round) work units across
+// parameter points so one Go() call can saturate the pool with every
+// round of every point at once. Results returned by the AddX methods are
+// filled in when Go returns; reading them earlier is a bug.
+type Batch struct {
+	ctx       *Context
+	units     []Unit
+	finalize  []func()
+	cfgErrors []error
+}
+
+// Batch starts an empty work-unit batch.
+func (c *Context) Batch() *Batch { return &Batch{ctx: c} }
+
+// Go executes every accumulated unit on the shared pool, then runs the
+// finalisers that stitch per-round outputs into the returned results.
+// Go always drains the batch, so after an error the batch is empty and
+// can be refilled from scratch.
+func (b *Batch) Go() error {
+	units, finalize, cfgErrors := b.units, b.finalize, b.cfgErrors
+	b.units, b.finalize, b.cfgErrors = nil, nil, nil
+	for _, err := range cfgErrors {
+		if err != nil {
+			return err
+		}
+	}
+	if err := b.ctx.RunUnits(units); err != nil {
+		return err
+	}
+	for _, fin := range finalize {
+		fin()
+	}
+	return nil
+}
+
+func (b *Batch) addRounds(scenarioName, point string, rounds int, run func(round int) error) {
+	for i := 0; i < rounds; i++ {
+		i := i
+		b.units = append(b.units, Unit{
+			Scenario: scenarioName,
+			Point:    point,
+			Round:    i,
+			Run:      func() error { return run(i) },
+		})
+	}
+}
+
+// Testbed adds every round of one urban-testbed parameter point. The
+// returned result is filled when Go returns.
+func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.TestbedResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.TestbedResult{}
+	}
+	// The pool owns concurrency; a nested parallel loop would only fight
+	// it for cores.
+	ncfg.Parallel = false
+	res := &scenario.TestbedResult{
+		Config: ncfg,
+		CarIDs: scenario.CarIDs(ncfg.Cars),
+		Rounds: make([]*trace.Collector, ncfg.Rounds),
+	}
+	durs := make([]time.Duration, ncfg.Rounds)
+	b.addRounds("testbed", point, ncfg.Rounds, func(round int) error {
+		col, dur, err := scenario.TestbedRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round], durs[round] = col, dur
+		return nil
+	})
+	b.finalize = append(b.finalize, func() { res.RoundDuration = durs[0] })
+	return res
+}
+
+// Highway adds every round of one drive-thru parameter point.
+func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.HighwayResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.HighwayResult{}
+	}
+	res := &scenario.HighwayResult{
+		Config: ncfg,
+		CarIDs: scenario.CarIDs(ncfg.Cars),
+		Rounds: make([]*trace.Collector, ncfg.Rounds),
+	}
+	b.addRounds("highway", point, ncfg.Rounds, func(round int) error {
+		col, err := scenario.HighwayRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round] = col
+		return nil
+	})
+	return res
+}
+
+// Corridor adds every round of one multi-Infostation parameter point.
+func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.CorridorResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.CorridorResult{}
+	}
+	res := &scenario.CorridorResult{
+		Config:      ncfg,
+		CarIDs:      scenario.CarIDs(ncfg.Cars),
+		RoadLengthM: scenario.CorridorRoadLength(ncfg),
+		Rounds:      make([]*trace.Collector, ncfg.Rounds),
+	}
+	b.addRounds("corridor", point, ncfg.Rounds, func(round int) error {
+		col, err := scenario.CorridorRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round] = col
+		return nil
+	})
+	return res
+}
+
+// TwoWay adds every round of one two-way-highway parameter point.
+func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWayResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.TwoWayResult{}
+	}
+	res := &scenario.TwoWayResult{
+		Config:   ncfg,
+		CarIDs:   scenario.CarIDs(ncfg.Cars),
+		RelayIDs: scenario.TwoWayRelayIDs(ncfg.RelayCars),
+		Rounds:   make([]*trace.Collector, ncfg.Rounds),
+	}
+	b.addRounds("twoway", point, ncfg.Rounds, func(round int) error {
+		col, err := scenario.TwoWayRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round] = col
+		return nil
+	})
+	return res
+}
+
+// Download adds one multi-lap file-download point as a single unit (the
+// download scenario is one continuous simulation, not rounds).
+func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.DownloadResult {
+	res := new(*scenario.DownloadResult)
+	b.addRounds("download", point, 1, func(int) error {
+		r, err := scenario.RunDownload(cfg)
+		if err != nil {
+			return err
+		}
+		*res = r
+		return nil
+	})
+	return res
+}
+
+// Testbed runs a single testbed point through the pool.
+func (c *Context) Testbed(point string, cfg scenario.TestbedConfig) (*scenario.TestbedResult, error) {
+	b := c.Batch()
+	res := b.Testbed(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Highway runs a single drive-thru point through the pool.
+func (c *Context) Highway(point string, cfg scenario.HighwayConfig) (*scenario.HighwayResult, error) {
+	b := c.Batch()
+	res := b.Highway(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Corridor runs a single corridor point through the pool.
+func (c *Context) Corridor(point string, cfg scenario.CorridorConfig) (*scenario.CorridorResult, error) {
+	b := c.Batch()
+	res := b.Corridor(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TwoWay runs a single two-way point through the pool.
+func (c *Context) TwoWay(point string, cfg scenario.TwoWayConfig) (*scenario.TwoWayResult, error) {
+	b := c.Batch()
+	res := b.TwoWay(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -28,6 +28,18 @@ type Chart struct {
 	Series     []*stats.Series
 }
 
+// FitY pins the Y range to the data: [0, max*(1+pad)]. Counting charts
+// (missing packets over time) use it instead of the probability default.
+func (c *Chart) FitY(pad float64) {
+	var max float64
+	for _, s := range c.Series {
+		if _, m := s.MinMaxY(); m > max {
+			max = m
+		}
+	}
+	c.YMin, c.YMax = 0, max*(1+pad)
+}
+
 // palette cycles through line colours reminiscent of gnuplot.
 var palette = []string{"#cc0000", "#00aa00", "#0000cc", "#cc8800", "#8800cc", "#008888"}
 

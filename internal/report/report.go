@@ -37,6 +37,13 @@ func Table1Rows(res *scenario.TestbedResult) []*analysis.Table1Row {
 	return analysis.Table1(res.Rounds, res.CarIDs)
 }
 
+// RowsFor computes Table-1 style rows for any scenario's round traces,
+// so non-testbed experiments (highway, two-way) get the same per-car
+// loss/improvement summary without faking a TestbedResult.
+func RowsFor(rounds []*trace.Collector, cars []packet.NodeID) []*analysis.Table1Row {
+	return analysis.Table1(rounds, cars)
+}
+
 // ReceptionFigure renders Figure 3/4/5 for one car's flow: probability of
 // reception of that flow's packets at every car, across the packet-number
 // window, plus the per-region means.

@@ -87,21 +87,14 @@ type CorridorResult struct {
 // any platoon member heard) each car ends up holding — cooperation closes
 // most of that gap in the dark stretch between the stations.
 func RunCorridor(cfg CorridorConfig) (*CorridorResult, error) {
-	if cfg.Rounds <= 0 || cfg.Cars <= 0 {
-		return nil, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
-	}
-	if cfg.APCount <= 0 {
-		return nil, fmt.Errorf("scenario: ap count %d", cfg.APCount)
-	}
-	if cfg.SpeedMPS <= 0 {
-		return nil, fmt.Errorf("scenario: speed %v", cfg.SpeedMPS)
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
 	}
 	res := &CorridorResult{
 		Config:      cfg,
-		RoadLengthM: float64(cfg.APCount) * cfg.APSpacingM,
-	}
-	for i := 0; i < cfg.Cars; i++ {
-		res.CarIDs = append(res.CarIDs, packet.NodeID(i+1))
+		CarIDs:      CarIDs(cfg.Cars),
+		RoadLengthM: CorridorRoadLength(cfg),
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		col, err := runCorridorRound(cfg, round, res.CarIDs, res.RoadLengthM)
@@ -113,8 +106,37 @@ func RunCorridor(cfg CorridorConfig) (*CorridorResult, error) {
 	return res, nil
 }
 
+// Normalized validates the config.
+func (cfg CorridorConfig) Normalized() (CorridorConfig, error) {
+	if cfg.Rounds <= 0 || cfg.Cars <= 0 {
+		return cfg, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
+	}
+	if cfg.APCount <= 0 {
+		return cfg, fmt.Errorf("scenario: ap count %d", cfg.APCount)
+	}
+	if cfg.SpeedMPS <= 0 {
+		return cfg, fmt.Errorf("scenario: speed %v", cfg.SpeedMPS)
+	}
+	return cfg, nil
+}
+
+// CorridorRoadLength returns the road length the config implies.
+func CorridorRoadLength(cfg CorridorConfig) float64 {
+	return float64(cfg.APCount) * cfg.APSpacingM
+}
+
+// CorridorRound runs one independent corridor round; see TestbedRound for
+// the determinism contract.
+func CorridorRound(cfg CorridorConfig, round int) (*trace.Collector, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return runCorridorRound(cfg, round, CarIDs(cfg.Cars), CorridorRoadLength(cfg))
+}
+
 func runCorridorRound(cfg CorridorConfig, round int, carIDs []packet.NodeID, roadLen float64) (*trace.Collector, error) {
-	roundSeed := sim.Stream(cfg.Seed, fmt.Sprintf("corridor-round-%d", round)).Int63()
+	roundSeed := sim.SeedFor(cfg.Seed, fmt.Sprintf("corridor-round-%d", round))
 
 	road := mobility.StraightHighway(roadLen)
 	leader := mobility.MustPathFollower(mobility.FollowerConfig{

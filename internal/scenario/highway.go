@@ -83,21 +83,37 @@ type HighwayResult struct {
 	CarIDs []packet.NodeID
 }
 
-// RunHighway executes the drive-thru passes.
-func RunHighway(cfg HighwayConfig) (*HighwayResult, error) {
+// Normalized validates the config and fills in defaults.
+func (cfg HighwayConfig) Normalized() (HighwayConfig, error) {
 	if cfg.Rounds <= 0 || cfg.Cars <= 0 {
-		return nil, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
+		return cfg, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
 	}
 	if cfg.SpeedMPS <= 0 {
-		return nil, fmt.Errorf("scenario: speed %v", cfg.SpeedMPS)
+		return cfg, fmt.Errorf("scenario: speed %v", cfg.SpeedMPS)
 	}
 	if cfg.Modulation.BitRate == 0 {
 		cfg.Modulation = radio.DSSS1Mbps
 	}
-	res := &HighwayResult{Config: cfg}
-	for i := 0; i < cfg.Cars; i++ {
-		res.CarIDs = append(res.CarIDs, packet.NodeID(i+1))
+	return cfg, nil
+}
+
+// HighwayRound runs one independent drive-thru pass; see TestbedRound for
+// the determinism contract.
+func HighwayRound(cfg HighwayConfig, round int) (*trace.Collector, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
 	}
+	return runHighwayRound(cfg, round, CarIDs(cfg.Cars))
+}
+
+// RunHighway executes the drive-thru passes.
+func RunHighway(cfg HighwayConfig) (*HighwayResult, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	res := &HighwayResult{Config: cfg, CarIDs: CarIDs(cfg.Cars)}
 	for round := 0; round < cfg.Rounds; round++ {
 		col, err := runHighwayRound(cfg, round, res.CarIDs)
 		if err != nil {
@@ -109,7 +125,7 @@ func RunHighway(cfg HighwayConfig) (*HighwayResult, error) {
 }
 
 func runHighwayRound(cfg HighwayConfig, round int, carIDs []packet.NodeID) (*trace.Collector, error) {
-	roundSeed := sim.Stream(cfg.Seed, fmt.Sprintf("hwy-round-%d", round)).Int63()
+	roundSeed := sim.SeedFor(cfg.Seed, fmt.Sprintf("hwy-round-%d", round))
 
 	road := mobility.StraightHighway(cfg.RoadLengthM)
 	leader := mobility.MustPathFollower(mobility.FollowerConfig{

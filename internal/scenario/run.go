@@ -25,6 +25,20 @@ import (
 // APs count up from it).
 const APID packet.NodeID = 100
 
+// RelayID is the station ID of the first relay vehicle in scenarios with
+// non-platoon traffic (additional relays count up from it).
+const RelayID packet.NodeID = 50
+
+// CarIDs returns the platoon node IDs for an n-car platoon, in platoon
+// order (front first). Every scenario numbers its platoon this way.
+func CarIDs(n int) []packet.NodeID {
+	ids := make([]packet.NodeID, n)
+	for i := range ids {
+		ids[i] = packet.NodeID(i + 1)
+	}
+	return ids
+}
+
 // Node is a protocol instance attached to a car: it consumes frames from
 // the MAC and starts its own timers. *carq.Node satisfies it; package
 // baseline provides alternative implementations (epidemic flooding).

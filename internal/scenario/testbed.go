@@ -223,13 +223,15 @@ type TestbedResult struct {
 	RoundDuration time.Duration
 }
 
-// RunTestbed executes all rounds of the urban testbed experiment.
-func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
+// Normalized validates the config and fills in defaults, returning the
+// exact config a run would execute. Harness bridges call it once before
+// decomposing the experiment into per-round work units.
+func (cfg TestbedConfig) Normalized() (TestbedConfig, error) {
 	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("scenario: rounds %d", cfg.Rounds)
+		return cfg, fmt.Errorf("scenario: rounds %d", cfg.Rounds)
 	}
 	if cfg.Cars <= 0 {
-		return nil, fmt.Errorf("scenario: cars %d", cfg.Cars)
+		return cfg, fmt.Errorf("scenario: cars %d", cfg.Cars)
 	}
 	if cfg.APRepeats < 1 {
 		cfg.APRepeats = 1
@@ -243,10 +245,28 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 	if cfg.APWindow <= 0 {
 		cfg.APWindow = 40 * time.Second
 	}
-	res := &TestbedResult{Config: cfg}
-	for i := 0; i < cfg.Cars; i++ {
-		res.CarIDs = append(res.CarIDs, packet.NodeID(i+1))
+	return cfg, nil
+}
+
+// TestbedRound runs one independent round of the urban testbed. Rounds
+// derive their own RNG streams from cfg.Seed and the round index, so any
+// round can run in isolation or concurrently with its siblings and still
+// produce the bits a serial full run would.
+func TestbedRound(cfg TestbedConfig, round int) (*trace.Collector, time.Duration, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, 0, err
 	}
+	return runTestbedRound(cfg, round, CarIDs(cfg.Cars))
+}
+
+// RunTestbed executes all rounds of the urban testbed experiment.
+func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	res := &TestbedResult{Config: cfg, CarIDs: CarIDs(cfg.Cars)}
 	res.Rounds = make([]*trace.Collector, cfg.Rounds)
 	if !cfg.Parallel {
 		for round := 0; round < cfg.Rounds; round++ {
@@ -297,7 +317,7 @@ func RunTestbed(cfg TestbedConfig) (*TestbedResult, error) {
 }
 
 func runTestbedRound(cfg TestbedConfig, round int, carIDs []packet.NodeID) (*trace.Collector, time.Duration, error) {
-	roundSeed := sim.Stream(cfg.Seed, fmt.Sprintf("round-%d", round)).Int63()
+	roundSeed := sim.SeedFor(cfg.Seed, fmt.Sprintf("round-%d", round))
 
 	leader := mobility.MustPathFollower(mobility.FollowerConfig{
 		Path:     TestbedLoop(),

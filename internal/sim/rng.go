@@ -29,3 +29,11 @@ func Stream(rootSeed int64, name string) *rand.Rand {
 func SubStream(r *rand.Rand, name string) *rand.Rand {
 	return Stream(int64(r.Uint64()), name)
 }
+
+// SeedFor derives a deterministic child seed from a root seed and a name:
+// the first draw of the named stream. Scenario rounds and harness work
+// units use it so that a unit's randomness depends only on its identity,
+// never on execution order.
+func SeedFor(rootSeed int64, name string) int64 {
+	return Stream(rootSeed, name).Int63()
+}

@@ -67,6 +67,24 @@ func MeanAbsDiff(a, b *Series) float64 {
 // MeanY returns the mean of the series' Y values.
 func (s *Series) MeanY() float64 { return Mean(s.Y) }
 
+// MinMaxY returns the smallest and largest Y value. An empty series
+// reports (0, 0).
+func (s *Series) MinMaxY() (min, max float64) {
+	if len(s.Y) == 0 {
+		return 0, 0
+	}
+	min, max = s.Y[0], s.Y[0]
+	for _, y := range s.Y[1:] {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	return min, max
+}
+
 // GnuplotData renders the series as whitespace-separated "x y" rows, the
 // format the paper's figures were plotted from.
 func (s *Series) GnuplotData() string {
