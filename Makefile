@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fmt vet check
+.PHONY: all build test short race bench bench-traffic bench-json fmt vet check
 
 all: build test
 
@@ -21,6 +21,19 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The traffic-subsystem benchmarks alone, shrunk by -short: the CI smoke
+# for the closed-loop vehicle dynamics.
+bench-traffic:
+	$(GO) test -run=NONE -bench='Traffic|StopGo' -benchtime=1x -short .
+
+# Machine-readable benchmark snapshot; the committed BENCH_<n>.json files
+# track the perf trajectory PR over PR. Two steps (not a pipe) so a
+# failed bench run cannot silently produce a truncated snapshot.
+bench-json:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out.tmp
+	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_2.json
+	rm bench.out.tmp
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -25,6 +25,8 @@ import (
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
 )
 
 // benchRounds keeps benchmark iterations affordable while leaving enough
@@ -484,6 +486,103 @@ func BenchmarkAblationRecruitmentTTL(b *testing.B) {
 			b.ReportMetric(gap, "car3_mean_gap")
 		})
 	}
+}
+
+// benchGridPopulation spreads n vehicles deterministically over a grid
+// network: round-robin across links, five arc slots per lane.
+func benchGridPopulation(g *traffic.GridNet, n int) []traffic.VehicleSpec {
+	specs := make([]traffic.VehicleSpec, 0, n)
+	links := len(g.Links)
+	for i := 0; i < n; i++ {
+		linkID := traffic.LinkID(i % links)
+		slot := i / links
+		lane := slot % 2
+		arc := 12 + float64((slot/2)%5)*28
+		l := g.Links[linkID]
+		if arc >= l.Length()-6 {
+			arc = l.Length() - 6
+		}
+		specs = append(specs, traffic.VehicleSpec{
+			Driver: traffic.DefaultDriver(),
+			Link:   linkID,
+			Lane:   lane % l.Lanes,
+			ArcM:   arc,
+		})
+	}
+	return specs
+}
+
+// BenchmarkTrafficGrid measures the closed-loop traffic subsystem alone:
+// a signalized 5x5 urban grid stepped for 10 simulated minutes with 500
+// vehicles and trajectory recording on. The acceptance bar is < 10 s per
+// run; -short drops to 150 vehicles over 2 minutes for CI smoke.
+func BenchmarkTrafficGrid(b *testing.B) {
+	vehicles, duration := 500, 10*time.Minute
+	if testing.Short() {
+		vehicles, duration = 150, 2*time.Minute
+	}
+	spec := traffic.GridSpec{
+		Rows: 5, Cols: 5,
+		BlockM:        150,
+		Lanes:         2,
+		LaneWidthM:    3.2,
+		SpeedLimitMPS: 14,
+		Green:         24 * time.Second,
+		AllRed:        4 * time.Second,
+	}
+	b.ReportAllocs()
+	var samples, meanSpeed float64
+	for i := 0; i < b.N; i++ {
+		g, err := traffic.NewGridNetwork(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := &trace.Collector{}
+		s, err := traffic.New(traffic.Config{
+			Network: g.Network, Seed: int64(i + 1), Recorder: rec,
+		}, benchGridPopulation(g, vehicles))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunTo(duration)
+		samples = float64(len(rec.Vehicles))
+		meanSpeed = s.MeanSpeedMPS()
+	}
+	b.ReportMetric(samples, "samples")
+	b.ReportMetric(meanSpeed, "mean_mps")
+}
+
+// BenchmarkTrafficGridRound measures one full urban-grid protocol round
+// (traffic replay + radio + MAC + C-ARQ + tracing) at the study
+// configuration (A15).
+func BenchmarkTrafficGridRound(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.DefaultTrafficGrid()
+		cfg.Rounds = 1
+		cfg.Seed = int64(i + 1)
+		if _, _, err := scenario.TrafficGridRound(cfg, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStopGoRound measures one full congested-highway protocol
+// round (A16), including the stop-and-go wave.
+func BenchmarkStopGoRound(b *testing.B) {
+	b.ReportAllocs()
+	var crawl float64
+	for i := 0; i < b.N; i++ {
+		cfg := scenario.DefaultStopGo()
+		cfg.Rounds = 1
+		cfg.Seed = int64(i + 1)
+		_, stream, err := scenario.StopGoRound(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		crawl = scenario.SummarizeTraffic(stream).CrawlShare
+	}
+	b.ReportMetric(100*crawl, "crawl_%")
 }
 
 func meanPre(res *scenario.TestbedResult) float64 {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrafficGrid      	       1	 617082490 ns/op	         6.516 mean_mps	    612650 samples	213183064 B/op	    9969 allocs/op
+BenchmarkStopGoRound-8    	       2	 154915131 ns/op	         2.759 crawl_%
+--- some test noise
+PASS
+ok  	repro	0.918s
+pkg: repro/internal/sim
+BenchmarkEngine 	     100	      1234 ns/op
+ok  	repro/internal/sim	0.100s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("header = %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	tg := rep.Benchmarks[0]
+	if tg.Name != "BenchmarkTrafficGrid" || tg.Iterations != 1 || tg.Pkg != "repro" {
+		t.Fatalf("first = %+v", tg)
+	}
+	if tg.Metrics["ns/op"] != 617082490 || tg.Metrics["mean_mps"] != 6.516 ||
+		tg.Metrics["samples"] != 612650 || tg.Metrics["allocs/op"] != 9969 {
+		t.Fatalf("metrics = %v", tg.Metrics)
+	}
+	// The -N GOMAXPROCS suffix strips off.
+	if rep.Benchmarks[1].Name != "BenchmarkStopGoRound" {
+		t.Fatalf("second name = %q", rep.Benchmarks[1].Name)
+	}
+	if rep.Benchmarks[1].Metrics["crawl_%"] != 2.759 {
+		t.Fatalf("custom metric = %v", rep.Benchmarks[1].Metrics)
+	}
+	// Benchmarks after a later pkg: header attribute to that package.
+	if b := rep.Benchmarks[2]; b.Pkg != "repro/internal/sim" || b.Name != "BenchmarkEngine" {
+		t.Fatalf("third = %+v", b)
+	}
+}
+
+func TestParseSkipsMalformed(t *testing.T) {
+	in := "BenchmarkBroken 12 abc ns/op\nBenchmarkOdd 1 2\nBenchmarkOK 3 5 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
+		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}

@@ -15,7 +15,7 @@ func TestCatalogueRegistered(t *testing.T) {
 	want := []string{
 		"table1", "batch", "selection", "apretx", "platoon", "download",
 		"bitrate", "epidemic", "highway", "combining", "adaptive",
-		"corridor", "ttl", "dynamics", "twoway",
+		"corridor", "ttl", "dynamics", "twoway", "trafficgrid", "stopgo",
 	}
 	names := harness.Names()
 	byName := map[string]bool{}

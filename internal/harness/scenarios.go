@@ -154,6 +154,56 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 	return res
 }
 
+// TrafficGrid adds every round of one signalized urban-grid parameter
+// point. Per-round traffic streams land in the result alongside the
+// protocol traces.
+func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scenario.TrafficGridResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.TrafficGridResult{}
+	}
+	res := &scenario.TrafficGridResult{
+		Config:  ncfg,
+		CarIDs:  scenario.CarIDs(ncfg.Cars),
+		Rounds:  make([]*trace.Collector, ncfg.Rounds),
+		Traffic: make([]*trace.Collector, ncfg.Rounds),
+	}
+	b.addRounds("trafficgrid", point, ncfg.Rounds, func(round int) error {
+		col, stream, err := scenario.TrafficGridRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round], res.Traffic[round] = col, stream
+		return nil
+	})
+	return res
+}
+
+// StopGo adds every round of one congested-highway parameter point.
+func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGoResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.StopGoResult{}
+	}
+	res := &scenario.StopGoResult{
+		Config:  ncfg,
+		CarIDs:  scenario.CarIDs(ncfg.Cars),
+		Rounds:  make([]*trace.Collector, ncfg.Rounds),
+		Traffic: make([]*trace.Collector, ncfg.Rounds),
+	}
+	b.addRounds("stopgo", point, ncfg.Rounds, func(round int) error {
+		col, stream, err := scenario.StopGoRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round], res.Traffic[round] = col, stream
+		return nil
+	})
+	return res
+}
+
 // Download adds one multi-lap file-download point as a single unit (the
 // download scenario is one continuous simulation, not rounds).
 func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.DownloadResult {
@@ -167,6 +217,26 @@ func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.D
 		return nil
 	})
 	return res
+}
+
+// TrafficGrid runs a single urban-grid point through the pool.
+func (c *Context) TrafficGrid(point string, cfg scenario.TrafficGridConfig) (*scenario.TrafficGridResult, error) {
+	b := c.Batch()
+	res := b.TrafficGrid(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// StopGo runs a single congested-highway point through the pool.
+func (c *Context) StopGo(point string, cfg scenario.StopGoConfig) (*scenario.StopGoResult, error) {
+	b := c.Batch()
+	res := b.StopGo(point, cfg)
+	if err := b.Go(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Testbed runs a single testbed point through the pool.

@@ -80,6 +80,13 @@ func NewPathFollower(cfg FollowerConfig) (*PathFollower, error) {
 		}
 	}
 	total := cfg.Path.Length()
+	// Normalise the start position into [0, total): callers may pass an
+	// arc several laps ahead (or a negative offset behind the origin) on
+	// looped paths.
+	startArc := math.Mod(cfg.StartArc, total)
+	if startArc < 0 {
+		startArc += total
+	}
 	const step = 0.5 // metres per integration sample
 	n := int(math.Ceil(total/step)) + 1
 	times := make([]float64, n)
@@ -95,7 +102,7 @@ func NewPathFollower(cfg FollowerConfig) (*PathFollower, error) {
 	return &PathFollower{
 		path:       cfg.Path,
 		loop:       cfg.Loop,
-		startArc:   math.Mod(cfg.StartArc, total),
+		startArc:   startArc,
 		lapTimes:   times,
 		sampleStep: step,
 		lapTime:    times[n-1],

@@ -47,6 +47,73 @@ func TestNewPathFollowerValidation(t *testing.T) {
 	}
 }
 
+// TestPathFollowerDegeneratePaths covers the degenerate geometry edge
+// cases: paths that cannot be built (zero points, one point, coincident
+// points) must be rejected at the polyline layer, and NewPathFollower
+// must never be constructible over them.
+func TestPathFollowerDegeneratePaths(t *testing.T) {
+	if _, err := geom.NewPolyline(); err == nil {
+		t.Fatal("empty polyline accepted")
+	}
+	if _, err := geom.NewPolyline(geom.Point{X: 1, Y: 2}); err == nil {
+		t.Fatal("single-point polyline accepted")
+	}
+	// All-coincident points: a polyline with zero total length.
+	if _, err := geom.NewPolyline(geom.Point{X: 3, Y: 3}, geom.Point{X: 3, Y: 3}); err == nil {
+		t.Fatal("zero-length polyline accepted")
+	}
+}
+
+// TestPathFollowerOverlappingZones checks that overlapping SpeedZones
+// compose multiplicatively: a follower inside both a 0.5x and a 0.5x zone
+// travels at a quarter speed.
+func TestPathFollowerOverlappingZones(t *testing.T) {
+	path := StraightHighway(100)
+	f := MustPathFollower(FollowerConfig{
+		Path:     path,
+		SpeedMPS: 10,
+		Zones: []SpeedZone{
+			{FromArc: 0, ToArc: 100, Factor: 0.5},
+			{FromArc: 40, ToArc: 60, Factor: 0.5},
+		},
+	})
+	// 0..40 m at 5 m/s (8 s) + 40..60 m at 2.5 m/s (8 s) + 60..100 m at
+	// 5 m/s (8 s) = 24 s for the full traversal.
+	if got := f.LapTime().Seconds(); math.Abs(got-24) > 0.1 {
+		t.Fatalf("LapTime = %vs, want ~24s", got)
+	}
+	// Mid-overlap position: 8 s to reach 40 m, then 4 s at 2.5 m/s = 50 m.
+	p := f.Position(12 * time.Second)
+	if math.Abs(p.X-50) > 0.5 {
+		t.Fatalf("Position(12s).X = %v, want ~50", p.X)
+	}
+}
+
+// TestPathFollowerStartArcBeyondLap checks that StartArc wraps on looped
+// paths: starting 1.25 laps in is the same as starting 0.25 laps in, and
+// negative offsets wrap backwards.
+func TestPathFollowerStartArcBeyondLap(t *testing.T) {
+	path := square(100) // 400 m loop
+	base := MustPathFollower(FollowerConfig{Path: path, Loop: true, SpeedMPS: 10, StartArc: 100})
+	ahead := MustPathFollower(FollowerConfig{Path: path, Loop: true, SpeedMPS: 10, StartArc: 500})
+	twoAhead := MustPathFollower(FollowerConfig{Path: path, Loop: true, SpeedMPS: 10, StartArc: 900})
+	negative := MustPathFollower(FollowerConfig{Path: path, Loop: true, SpeedMPS: 10, StartArc: -300})
+	for _, at := range []time.Duration{0, 7 * time.Second, time.Minute} {
+		want := base.Position(at)
+		for name, f := range map[string]*PathFollower{
+			"one lap ahead": ahead, "two laps ahead": twoAhead, "negative": negative,
+		} {
+			if got := f.Position(at); got.Dist(want) > 1e-6 {
+				t.Fatalf("%s: Position(%v) = %v, want %v", name, at, got, want)
+			}
+		}
+	}
+	// The wrapped starts must actually be offset from the path origin.
+	if got := base.Position(0); got.Dist(path.At(100)) > 1e-6 {
+		t.Fatalf("base start = %v, want %v", got, path.At(100))
+	}
+}
+
 func TestConstantSpeedStraightLine(t *testing.T) {
 	path := StraightHighway(1000)
 	f := MustPathFollower(FollowerConfig{Path: path, SpeedMPS: 10})

@@ -80,6 +80,13 @@ type Setup struct {
 	APs      []APSpec
 	Cars     []CarSpec
 	Duration time.Duration
+	// PreRun, if non-nil, runs immediately after the engine is created,
+	// before any AP or protocol node schedules its first event. Traffic
+	// scenarios use it to attach a live-stepped traffic simulation: the
+	// pre-scheduled tick events then carry lower sequence numbers than
+	// any protocol event at the same instant, which the live-vs-replay
+	// determinism contract requires.
+	PreRun func(engine *sim.Engine)
 	// Hook, if non-nil, receives the constructed engine and nodes before
 	// the run starts, for callers that want to schedule extra probes.
 	Hook func(engine *sim.Engine, nodes map[packet.NodeID]Node)
@@ -111,6 +118,9 @@ func Run(s Setup) (*Result, error) {
 		return nil, fmt.Errorf("scenario: non-positive duration %v", s.Duration)
 	}
 	engine := sim.New()
+	if s.PreRun != nil {
+		s.PreRun(engine)
+	}
 	col := &trace.Collector{}
 	s.Channel.Seed = s.Seed
 	channel, err := radio.NewChannel(s.Channel)

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/carq"
+	"repro/internal/geom"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// StopGoConfig parameterises the congested-highway scenario: a dense
+// single-lane ring of IDM vehicles carrying a C-ARQ platoon past a
+// roadside AP while a deterministic braking perturbation upstream
+// launches a stop-and-go wave through the platoon mid-drive-thru. The
+// platoon crawls, bunches and re-spreads inside and outside coverage —
+// the regime delay-tolerant vehicular recovery is supposed to shine in.
+type StopGoConfig struct {
+	Rounds int
+	// Cars is the platoon size (the C-ARQ stations); the rest of the
+	// ring is radio-silent background traffic.
+	Cars int
+	Seed int64
+	// Vehicles is the total ring population including the platoon.
+	Vehicles int
+	// RingM is the ring circumference.
+	RingM            float64
+	PacketsPerSecond float64
+	PayloadBytes     int
+	Coop             bool
+	Modulation       radio.Modulation
+	Duration         time.Duration
+	// PerturbAt/PerturbFor time the upstream braking perturbation that
+	// launches the wave (a vehicle ~5 slots ahead of the platoon crawls
+	// at 1.5 m/s for the window).
+	PerturbAt, PerturbFor time.Duration
+	// Replay drives the protocol run from a recorded traffic stream;
+	// see TrafficGridConfig.Replay.
+	Replay bool
+	// TuneChannel and TuneCarq optionally mutate derived configs.
+	TuneChannel func(*radio.Config)
+	TuneCarq    func(*carq.Config)
+}
+
+// DefaultStopGo returns a 72-vehicle, 1.8 km ring (25 m spacings — dense
+// but flowing) with a 3-car platoon.
+func DefaultStopGo() StopGoConfig {
+	return StopGoConfig{
+		Rounds:           10,
+		Cars:             3,
+		Seed:             1,
+		Vehicles:         72,
+		RingM:            1800,
+		PacketsPerSecond: 5,
+		PayloadBytes:     1000,
+		Coop:             true,
+		Modulation:       radio.DSSS1Mbps,
+		Duration:         180 * time.Second,
+		PerturbAt:        25 * time.Second,
+		PerturbFor:       20 * time.Second,
+		Replay:           true,
+	}
+}
+
+// Normalized validates the config and fills in defaults.
+func (cfg StopGoConfig) Normalized() (StopGoConfig, error) {
+	if cfg.Rounds <= 0 || cfg.Cars <= 0 {
+		return cfg, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
+	}
+	if cfg.Vehicles == 0 {
+		cfg.Vehicles = 72
+	}
+	if cfg.RingM == 0 {
+		cfg.RingM = 1800
+	}
+	if cfg.Vehicles < cfg.Cars+8 {
+		return cfg, fmt.Errorf("scenario: %d vehicles too few for a %d-car platoon", cfg.Vehicles, cfg.Cars)
+	}
+	if spacing := cfg.RingM / float64(cfg.Vehicles); spacing < 7 {
+		return cfg, fmt.Errorf("scenario: ring spacing %.1f m leaves no room to move", spacing)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 180 * time.Second
+	}
+	if cfg.PerturbAt <= 0 {
+		cfg.PerturbAt = 25 * time.Second
+	}
+	if cfg.PerturbFor <= 0 {
+		cfg.PerturbFor = 20 * time.Second
+	}
+	if cfg.PacketsPerSecond <= 0 {
+		cfg.PacketsPerSecond = 5
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 1000
+	}
+	if cfg.Modulation.BitRate == 0 {
+		cfg.Modulation = radio.DSSS1Mbps
+	}
+	return cfg, nil
+}
+
+// StopGoResult is the study output.
+type StopGoResult struct {
+	Config  StopGoConfig
+	CarIDs  []packet.NodeID
+	Rounds  []*trace.Collector
+	Traffic []*trace.Collector
+}
+
+// stopGoWorld builds the ring and its population. Vehicle IDs 0..Cars-1
+// are the platoon, placed ~300 m upstream of the AP; background vehicles
+// fill the remaining uniform slots ahead of it, so the perturbed vehicle
+// (ID Cars+4, five slots ahead of the platoon head) launches its wave
+// backwards into the platoon as it approaches coverage.
+func stopGoWorld(cfg StopGoConfig, roundSeed int64) (*traffic.Network, []traffic.VehicleSpec, error) {
+	net, err := traffic.NewRingRoad(traffic.RingSpec{
+		CircumferenceM: cfg.RingM,
+		Lanes:          1,
+		LaneWidthM:     3.5,
+		SpeedLimitMPS:  25,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := sim.Stream(roundSeed, "stopgo-drivers")
+	base := traffic.DefaultDriver()
+	base.DesiredSpeedMPS = 22
+
+	spacing := cfg.RingM / float64(cfg.Vehicles)
+	// The platoon head sits 300 m before the AP (which is at arc 0, i.e.
+	// arc RingM); slots count forward from it.
+	headArc := cfg.RingM - 300
+	arcAt := func(slot int) float64 {
+		a := headArc + float64(slot)*spacing
+		for a >= cfg.RingM {
+			a -= cfg.RingM
+		}
+		for a < 0 {
+			a += cfg.RingM
+		}
+		return a
+	}
+	specs := make([]traffic.VehicleSpec, cfg.Vehicles)
+	for i := 0; i < cfg.Cars; i++ {
+		// Platoon: head at slot 0, followers behind (negative slots).
+		specs[i] = traffic.VehicleSpec{
+			Driver:   jitterDriver(base, rng),
+			Link:     0,
+			ArcM:     arcAt(-i),
+			SpeedMPS: 10,
+		}
+	}
+	for i := cfg.Cars; i < cfg.Vehicles; i++ {
+		// Background: slots 1, 2, ... ahead of the platoon head, which
+		// wrap all the way around to behind the platoon tail.
+		spec := traffic.VehicleSpec{
+			Driver:   jitterDriver(base, rng),
+			Link:     0,
+			ArcM:     arcAt(i - cfg.Cars + 1),
+			SpeedMPS: 10,
+		}
+		if i == cfg.Cars+4 {
+			spec.Caps = []traffic.SpeedCap{{
+				From: cfg.PerturbAt, To: cfg.PerturbAt + cfg.PerturbFor, MaxMPS: 1.5,
+			}}
+		}
+		specs[i] = spec
+	}
+	return net, specs, nil
+}
+
+// stopGoAP returns the roadside AP position: 12 m off the outer lane
+// edge at ring arc 0.
+func stopGoAP(net *traffic.Network) geom.Point {
+	l := net.Links[0]
+	edge := l.LanePoint(0, 0)
+	centre := l.Centre.At(0)
+	out := edge.Sub(centre).Unit()
+	return edge.Add(out.Scale(12))
+}
+
+func stopGoCacheKey(cfg StopGoConfig, roundSeed int64) string {
+	return fmt.Sprintf("stopgo|seed=%d|cars=%d|veh=%d|ring=%g|dur=%s|pat=%s|pfor=%s",
+		roundSeed, cfg.Cars, cfg.Vehicles, cfg.RingM, cfg.Duration, cfg.PerturbAt, cfg.PerturbFor)
+}
+
+// StopGoRound runs one round; see TrafficGridRound for the contract.
+func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collector, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	roundSeed := sim.SeedFor(cfg.Seed, fmt.Sprintf("stopgo-round-%d", round))
+	net, specs, err := stopGoWorld(cfg, roundSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	tcfg := traffic.Config{Network: net, Seed: roundSeed}
+	carIDs := CarIDs(cfg.Cars)
+
+	models, trafficStream, preRun, err := trafficModels(net, tcfg, specs,
+		cfg.Duration, cfg.Replay, stopGoCacheKey(cfg, roundSeed), cfg.Cars)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	chCfg := highwayChannel()
+	if cfg.TuneChannel != nil {
+		cfg.TuneChannel(&chCfg)
+	}
+	macCfg := mac.DefaultConfig()
+	macCfg.Modulation = cfg.Modulation
+
+	cars := make([]CarSpec, cfg.Cars)
+	for i, id := range carIDs {
+		ccfg := carq.DefaultConfig(id)
+		ccfg.CoopEnabled = cfg.Coop
+		if cfg.TuneCarq != nil {
+			cfg.TuneCarq(&ccfg)
+		}
+		cars[i] = CarSpec{ID: id, Mobility: models[i], Carq: ccfg}
+	}
+
+	result, err := Run(Setup{
+		Seed:    roundSeed,
+		Channel: chCfg,
+		MAC:     macCfg,
+		APs: []APSpec{{
+			Position: stopGoAP(net),
+			Config: apConfigWindow(APID, carIDs, cfg.PacketsPerSecond,
+				cfg.PayloadBytes, 1, 0, 0),
+		}},
+		Cars:     cars,
+		Duration: cfg.Duration,
+		PreRun:   preRun,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return result.Trace, trafficStream, nil
+}
+
+// RunStopGo executes every round serially.
+func RunStopGo(cfg StopGoConfig) (*StopGoResult, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	res := &StopGoResult{Config: cfg, CarIDs: CarIDs(cfg.Cars)}
+	for round := 0; round < cfg.Rounds; round++ {
+		col, stream, err := StopGoRound(cfg, round)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: stop-go round %d: %w", round, err)
+		}
+		res.Rounds = append(res.Rounds, col)
+		res.Traffic = append(res.Traffic, stream)
+	}
+	return res, nil
+}

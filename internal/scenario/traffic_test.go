@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func quickTrafficGrid() TrafficGridConfig {
+	cfg := DefaultTrafficGrid()
+	cfg.Rounds = 1
+	cfg.Cars = 2
+	cfg.Background = 8
+	cfg.GridRows, cfg.GridCols = 2, 2
+	cfg.Duration = 40 * time.Second
+	return cfg
+}
+
+func quickStopGo() StopGoConfig {
+	cfg := DefaultStopGo()
+	cfg.Rounds = 1
+	cfg.Cars = 2
+	cfg.Vehicles = 20
+	cfg.RingM = 600
+	cfg.Duration = 40 * time.Second
+	cfg.PerturbAt = 10 * time.Second
+	cfg.PerturbFor = 10 * time.Second
+	return cfg
+}
+
+func traceBytes(t *testing.T, col *trace.Collector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrafficGridLiveVsReplayByteIdentical is the record-then-replay
+// acceptance criterion: a round driven by a live-stepped traffic
+// simulation and the same round driven by its recorded stream must emit
+// byte-identical protocol traces.
+func TestTrafficGridLiveVsReplayByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	live := quickTrafficGrid()
+	live.Replay = false
+	replay := quickTrafficGrid()
+	replay.Replay = true
+
+	colLive, streamLive, err := TrafficGridRound(live, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colReplay, streamReplay, err := TrafficGridRound(replay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, colLive), traceBytes(t, colReplay)) {
+		t.Fatal("live and replayed protocol traces differ")
+	}
+	if !bytes.Equal(traceBytes(t, streamLive), traceBytes(t, streamReplay)) {
+		t.Fatal("live and replayed traffic streams differ")
+	}
+	if colLive.Counts().Rx == 0 {
+		t.Fatal("platoon received nothing; scenario is inert")
+	}
+}
+
+func TestStopGoLiveVsReplayByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	live := quickStopGo()
+	live.Replay = false
+	replay := quickStopGo()
+	replay.Replay = true
+
+	colLive, streamLive, err := StopGoRound(live, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colReplay, streamReplay, err := StopGoRound(replay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, colLive), traceBytes(t, colReplay)) {
+		t.Fatal("live and replayed protocol traces differ")
+	}
+	if !bytes.Equal(traceBytes(t, streamLive), traceBytes(t, streamReplay)) {
+		t.Fatal("live and replayed traffic streams differ")
+	}
+	if colLive.Counts().Rx == 0 {
+		t.Fatal("platoon received nothing; scenario is inert")
+	}
+}
+
+// TestTrafficRoundsDeterministic re-runs a round and expects identical
+// bytes — the property harness workers rely on.
+func TestTrafficRoundsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	cfg := quickTrafficGrid()
+	a, _, err := TrafficGridRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := TrafficGridRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, a), traceBytes(t, b)) {
+		t.Fatal("same round produced different traces")
+	}
+	// A different round diverges.
+	c, _, err := TrafficGridRound(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(traceBytes(t, a), traceBytes(t, c)) {
+		t.Fatal("distinct rounds produced identical traces")
+	}
+}
+
+// TestTrafficCacheSharesStreamAcrossArms checks the sweep-reuse path:
+// protocol-side knobs (coop on/off) must not recompute the traffic, so
+// both arms of a sweep see the very same cached stream.
+func TestTrafficCacheSharesStreamAcrossArms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	on := quickStopGo()
+	on.Coop = true
+	off := quickStopGo()
+	off.Coop = false
+
+	_, streamOn, err := StopGoRound(on, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, streamOff, err := StopGoRound(off, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamOn != streamOff {
+		t.Fatal("coop arms did not share the cached traffic stream")
+	}
+	if len(streamOn.Vehicles) == 0 {
+		t.Fatal("cached stream is empty")
+	}
+}
+
+// TestStopGoWaveReachesPlatoon confirms the congestion narrative: the
+// recorded stream shows platoon vehicles crawling some time after the
+// upstream perturbation.
+func TestStopGoWaveReachesPlatoon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	cfg := quickStopGo()
+	// Denser ring and a longer perturbation than the protocol quick
+	// config, so the jam reliably backs up 125 m into the platoon.
+	cfg.Vehicles = 24
+	cfg.RingM = 500
+	cfg.PerturbAt = 8 * time.Second
+	cfg.PerturbFor = 18 * time.Second
+	_, stream, err := StopGoRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawled := false
+	for i := 0; i < cfg.Cars && !crawled; i++ {
+		for _, rec := range stream.VehicleSeries(i) {
+			if rec.At > cfg.PerturbAt && rec.Speed < 2 {
+				crawled = true
+				break
+			}
+		}
+	}
+	if !crawled {
+		t.Fatal("no platoon vehicle crawled after the perturbation")
+	}
+}
+
+func TestTrafficConfigValidation(t *testing.T) {
+	bad := DefaultTrafficGrid()
+	bad.Cars = 20 // cannot fit the start link
+	if _, err := bad.Normalized(); err == nil {
+		t.Fatal("oversized platoon accepted")
+	}
+	bad = DefaultTrafficGrid()
+	bad.Background = 100000
+	if _, _, err := TrafficGridRound(bad, 0); err == nil {
+		t.Fatal("over-capacity background accepted")
+	}
+	sg := DefaultStopGo()
+	sg.Vehicles = sg.Cars + 1
+	if _, err := sg.Normalized(); err == nil {
+		t.Fatal("too-small ring population accepted")
+	}
+	sg = DefaultStopGo()
+	sg.Vehicles = 1000
+	if _, err := sg.Normalized(); err == nil {
+		t.Fatal("bumper-locked ring accepted")
+	}
+}

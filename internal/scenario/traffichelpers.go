@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/mobility"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// trafficTraceCache memoises recorded traffic streams so parameter sweeps
+// that vary only protocol settings (coop on/off, selection policy, ...)
+// compute each expensive closed-loop traffic round once and replay it in
+// every arm. Entries are keyed by every parameter that shapes the traffic
+// (never by protocol settings) and computed under a per-key once, so
+// concurrent harness workers racing on the same round share one compute.
+type trafficTraceCache struct {
+	mu sync.Mutex
+	m  map[string]*trafficTraceEntry
+}
+
+type trafficTraceEntry struct {
+	once sync.Once
+	col  *trace.Collector
+	err  error
+}
+
+// capTrafficCacheEntries bounds the memoised streams; the map resets
+// wholesale past it (in-flight computes keep their entries alive through
+// their own references).
+const capTrafficCacheEntries = 64
+
+var trafficCache = &trafficTraceCache{m: make(map[string]*trafficTraceEntry)}
+
+func (c *trafficTraceCache) get(key string, compute func() (*trace.Collector, error)) (*trace.Collector, error) {
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		if len(c.m) >= capTrafficCacheEntries {
+			c.m = make(map[string]*trafficTraceEntry)
+		}
+		e = &trafficTraceEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.col, e.err = compute() })
+	return e.col, e.err
+}
+
+// recordTrafficTrace runs one traffic simulation to completion with
+// recording on and returns the recorded stream.
+func recordTrafficTrace(tcfg traffic.Config, specs []traffic.VehicleSpec, d time.Duration) (*trace.Collector, error) {
+	rec := &trace.Collector{}
+	tcfg.Recorder = rec
+	ts, err := traffic.New(tcfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	ts.RunTo(d)
+	return rec, nil
+}
+
+// trafficModels builds the platoon cars' mobility models over a traffic
+// world, in one of two byte-identical modes:
+//
+//   - live (replay=false): the traffic simulation attaches to the round's
+//     engine through the returned PreRun and steps on its clock, filling
+//     the returned stream as the round executes;
+//   - replay (replay=true): the traffic run is computed up front (via the
+//     shared cache under cacheKey), serialised through the trace JSONL
+//     wire format, and replayed — the record-once, sweep-many path.
+//
+// The first nPlatoon specs are the platoon; their models are returned in
+// order. The stream holds every vehicle's recorded track (complete only
+// after the round runs to its horizon in live mode).
+func trafficModels(net *traffic.Network, tcfg traffic.Config, specs []traffic.VehicleSpec,
+	d time.Duration, replay bool, cacheKey string, nPlatoon int) ([]mobility.Model, *trace.Collector, func(*sim.Engine), error) {
+
+	models := make([]mobility.Model, nPlatoon)
+	if !replay {
+		rec := &trace.Collector{}
+		tcfg.Recorder = rec
+		ts, err := traffic.New(tcfg, specs)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i := range models {
+			models[i] = ts.Model(i)
+		}
+		return models, rec, func(eng *sim.Engine) { ts.Attach(eng, d) }, nil
+	}
+
+	col, err := trafficCache.get(cacheKey, func() (*trace.Collector, error) {
+		rec, err := recordTrafficTrace(tcfg, specs, d)
+		if err != nil {
+			return nil, err
+		}
+		// Round-trip through the wire format so cached replays are
+		// exactly what a trace file on disk would give back.
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		return trace.ReadJSONL(&buf)
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rp, err := traffic.NewReplay(net, col)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i := range models {
+		m, err := rp.Model(i)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("scenario: platoon vehicle %d: %w", i, err)
+		}
+		models[i] = m
+	}
+	return models, col, nil, nil
+}
+
+// jitterDriver applies the per-round heterogeneity every traffic scenario
+// uses: mild gaussian variation of desired speed, headway and
+// aggressiveness, deterministically drawn from the round's stream.
+func jitterDriver(base traffic.DriverParams, rng interface{ NormFloat64() float64 }) traffic.DriverParams {
+	d := base
+	d.DesiredSpeedMPS *= clamp(1+0.08*rng.NormFloat64(), 0.7, 1.3)
+	d.TimeHeadwayS *= clamp(1+0.15*rng.NormFloat64(), 0.6, 1.6)
+	d.MaxAccelMPS2 *= clamp(1+0.10*rng.NormFloat64(), 0.6, 1.5)
+	return d
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// TrafficSummary condenses a recorded traffic stream for reports: mean
+// speed over the run and the share of samples below the crawling
+// threshold (2 m/s) — the jam exposure of the whole population.
+type TrafficSummary struct {
+	MeanSpeedMPS float64
+	CrawlShare   float64
+	Samples      int
+}
+
+// SummarizeTraffic computes the summary of one recorded stream.
+func SummarizeTraffic(col *trace.Collector) TrafficSummary {
+	var s TrafficSummary
+	if col == nil || len(col.Vehicles) == 0 {
+		return s
+	}
+	var speedSum float64
+	crawls := 0
+	for _, r := range col.Vehicles {
+		speedSum += r.Speed
+		if r.Speed < 2 {
+			crawls++
+		}
+	}
+	s.Samples = len(col.Vehicles)
+	s.MeanSpeedMPS = speedSum / float64(s.Samples)
+	s.CrawlShare = float64(crawls) / float64(s.Samples)
+	return s
+}

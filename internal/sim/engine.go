@@ -24,6 +24,11 @@ type Engine struct {
 
 	// processed counts events whose callbacks have run, for diagnostics.
 	processed uint64
+	// cancelledQueued counts events that were cancelled but are still
+	// physically in the queue (cancellation leaves them in place; the
+	// pop path discards them lazily). Pending subtracts it so callers
+	// see only live work.
+	cancelledQueued int
 }
 
 // New returns an Engine with the clock at zero and an empty queue.
@@ -37,9 +42,10 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled events that have not been popped yet.
-func (e *Engine) Pending() int { return e.queue.Len() }
+// Pending returns the number of live events waiting in the queue.
+// Cancelled events that have not been lazily discarded yet are excluded,
+// so the count is exactly the number of callbacks still due to run.
+func (e *Engine) Pending() int { return e.queue.Len() - e.cancelledQueued }
 
 // Schedule arranges for fn to run after delay. Negative delays are clamped
 // to zero, so the event fires at the current time but strictly after the
@@ -61,7 +67,7 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) before now (%v)", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	e.queue.Push(ev)
 	return ev
@@ -80,6 +86,7 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		if ev.cancelled {
+			e.cancelledQueued--
 			continue
 		}
 		e.now = ev.at

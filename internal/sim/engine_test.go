@@ -190,6 +190,49 @@ func TestStopHaltsRun(t *testing.T) {
 	}
 }
 
+// TestPendingExcludesCancelled is the regression test for the live-event
+// count: cancelled events sit in the queue until lazily popped, but
+// Pending must not count them.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New()
+	nop := func() {}
+	evs := make([]*Event, 5)
+	for i := range evs {
+		evs[i] = e.Schedule(time.Duration(i+1)*time.Second, nop)
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", e.Pending())
+	}
+	evs[1].Cancel()
+	evs[3].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() after two cancels = %d, want 3", e.Pending())
+	}
+	// Double-cancel must not double-count.
+	evs[1].Cancel()
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() after re-cancel = %d, want 3", e.Pending())
+	}
+	// Stepping over a cancelled event keeps the count consistent.
+	if !e.Step() { // runs the live 1 s event
+		t.Fatal("Step found no event")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() after first step = %d, want 2", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() after drain = %d, want 0", e.Pending())
+	}
+	// Cancelling an already-fired event changes nothing.
+	evs[0].Cancel()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() after post-fire cancel = %d, want 0", e.Pending())
+	}
+}
+
 func TestRunUntilHorizon(t *testing.T) {
 	e := New()
 	var fired []time.Duration

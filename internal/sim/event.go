@@ -18,6 +18,9 @@ type Event struct {
 	fn        func()
 	cancelled bool
 	fired     bool
+	// eng is the owning engine; Cancel tells it so Pending can exclude
+	// cancelled events that are still physically in the queue.
+	eng *Engine
 }
 
 // At returns the virtual time at which the event fires (or fired).
@@ -32,6 +35,9 @@ func (ev *Event) Cancel() bool {
 	}
 	ev.cancelled = true
 	ev.fn = nil
+	if ev.eng != nil {
+		ev.eng.cancelledQueued++
+	}
 	return true
 }
 

@@ -16,6 +16,7 @@ type line struct {
 	Phase     *PhaseRecord    `json:"phase,omitempty"`
 	Recovered *RecoveryRecord `json:"recovered,omitempty"`
 	Completed *CompleteRecord `json:"completed,omitempty"`
+	Vehicle   *VehicleRecord  `json:"veh,omitempty"`
 }
 
 // WriteJSONL streams every record as one JSON object per line, in record-
@@ -53,6 +54,11 @@ func (c *Collector) WriteJSONL(w io.Writer) error {
 	for i := range c.Completed {
 		if err := emit(line{Kind: "completed", Completed: &c.Completed[i]}); err != nil {
 			return fmt.Errorf("trace: write completion: %w", err)
+		}
+	}
+	for i := range c.Vehicles {
+		if err := emit(line{Kind: "veh", Vehicle: &c.Vehicles[i]}); err != nil {
+			return fmt.Errorf("trace: write vehicle: %w", err)
 		}
 	}
 	return bw.Flush()
@@ -101,6 +107,11 @@ func ReadJSONL(r io.Reader) (*Collector, error) {
 				return nil, fmt.Errorf("trace: line %d: completion record missing body", lineNo)
 			}
 			c.Completed = append(c.Completed, *l.Completed)
+		case "veh":
+			if l.Vehicle == nil {
+				return nil, fmt.Errorf("trace: line %d: vehicle record missing body", lineNo)
+			}
+			c.Vehicles = append(c.Vehicles, *l.Vehicle)
 		default:
 			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, l.Kind)
 		}

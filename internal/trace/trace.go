@@ -8,6 +8,7 @@
 package trace
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/carq"
@@ -72,6 +73,22 @@ type CompleteRecord struct {
 	Node packet.NodeID `json:"node"`
 }
 
+// VehicleRecord is one microscopic-traffic state sample: where vehicle Veh
+// was at time At, expressed in road coordinates (link, lane, arc along the
+// link's centreline) plus its speed. Traffic simulations emit these streams
+// so an expensive closed-loop run can be recorded once and replayed as
+// mobility models across many protocol sweeps. Vehicle IDs are traffic-
+// simulation indices, not station IDs: most traffic is radio-silent
+// background.
+type VehicleRecord struct {
+	At    time.Duration `json:"at"`
+	Veh   int           `json:"veh"`
+	Link  int           `json:"link"`
+	Lane  int           `json:"lane"`
+	Arc   float64       `json:"arc"`
+	Speed float64       `json:"v"`
+}
+
 // Collector accumulates the full event record of one simulation round. It
 // implements mac.Tracer and carq.Observer. The zero value is ready to use.
 type Collector struct {
@@ -81,6 +98,7 @@ type Collector struct {
 	Phases    []PhaseRecord
 	Recovered []RecoveryRecord
 	Completed []CompleteRecord
+	Vehicles  []VehicleRecord
 }
 
 var (
@@ -126,6 +144,39 @@ func (c *Collector) OnRecovered(id packet.NodeID, seq uint32, from packet.NodeID
 // OnComplete implements carq.Observer.
 func (c *Collector) OnComplete(id packet.NodeID, at time.Duration) {
 	c.Completed = append(c.Completed, CompleteRecord{At: at, Node: id})
+}
+
+// OnVehicle records one traffic state sample. Samples must be appended in
+// chronological order per vehicle; VehicleSeries relies on it.
+func (c *Collector) OnVehicle(r VehicleRecord) {
+	c.Vehicles = append(c.Vehicles, r)
+}
+
+// VehicleIDs returns the distinct vehicle IDs present in the traffic
+// stream, ascending.
+func (c *Collector) VehicleIDs() []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, r := range c.Vehicles {
+		if !seen[r.Veh] {
+			seen[r.Veh] = true
+			out = append(out, r.Veh)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// VehicleSeries returns vehicle veh's samples in recording (chronological)
+// order.
+func (c *Collector) VehicleSeries(veh int) []VehicleRecord {
+	var out []VehicleRecord
+	for _, r := range c.Vehicles {
+		if r.Veh == veh {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // --- Queries -------------------------------------------------------------
@@ -194,7 +245,7 @@ func (c *Collector) HeldSet(node packet.NodeID) map[uint32]bool {
 
 // Counts summarises the event volume, for logging.
 type Counts struct {
-	Tx, Rx, Drops, Phases, Recovered, Completed int
+	Tx, Rx, Drops, Phases, Recovered, Completed, Vehicles int
 }
 
 // Counts returns the record counts.
@@ -202,6 +253,7 @@ func (c *Collector) Counts() Counts {
 	return Counts{
 		Tx: len(c.Tx), Rx: len(c.Rx), Drops: len(c.Drops),
 		Phases: len(c.Phases), Recovered: len(c.Recovered), Completed: len(c.Completed),
+		Vehicles: len(c.Vehicles),
 	}
 }
 

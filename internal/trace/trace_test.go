@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -31,6 +32,11 @@ func sampleCollector() *Collector {
 	c.OnPhaseChange(1, carq.PhaseReception, carq.PhaseCoopARQ, 8*time.Second)
 	c.OnRecovered(1, 2, 2, 9*time.Second)
 	c.OnComplete(1, 9*time.Second)
+	// Traffic stream: two vehicles sampled twice each.
+	c.OnVehicle(VehicleRecord{At: 0, Veh: 7, Link: 0, Lane: 1, Arc: 12.5, Speed: 8.25})
+	c.OnVehicle(VehicleRecord{At: 0, Veh: 3, Link: 2, Lane: 0, Arc: 40, Speed: 0})
+	c.OnVehicle(VehicleRecord{At: 500 * time.Millisecond, Veh: 7, Link: 0, Lane: 0, Arc: 16.625, Speed: 8.5})
+	c.OnVehicle(VehicleRecord{At: 500 * time.Millisecond, Veh: 3, Link: 2, Lane: 0, Arc: 40, Speed: 0.1})
 	return c
 }
 
@@ -89,7 +95,7 @@ func TestHeldSetIncludesRecoveries(t *testing.T) {
 func TestCounts(t *testing.T) {
 	c := sampleCollector()
 	got := c.Counts()
-	want := Counts{Tx: 5, Rx: 3, Drops: 1, Phases: 1, Recovered: 1, Completed: 1}
+	want := Counts{Tx: 5, Rx: 3, Drops: 1, Phases: 1, Recovered: 1, Completed: 1, Vehicles: 4}
 	if got != want {
 		t.Fatalf("Counts = %+v, want %+v", got, want)
 	}
@@ -137,6 +143,7 @@ func TestReadJSONLErrors(t *testing.T) {
 		{"missing phase body", `{"kind":"phase"}` + "\n"},
 		{"missing recovery body", `{"kind":"recovered"}` + "\n"},
 		{"missing completion body", `{"kind":"completed"}` + "\n"},
+		{"missing vehicle body", `{"kind":"veh"}` + "\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -144,6 +151,54 @@ func TestReadJSONLErrors(t *testing.T) {
 				t.Fatalf("input %q accepted", tc.input)
 			}
 		})
+	}
+}
+
+func TestVehicleQueries(t *testing.T) {
+	c := sampleCollector()
+	if got := c.VehicleIDs(); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("VehicleIDs = %v, want [3 7]", got)
+	}
+	s7 := c.VehicleSeries(7)
+	if len(s7) != 2 || s7[0].At != 0 || s7[1].At != 500*time.Millisecond {
+		t.Fatalf("VehicleSeries(7) = %+v", s7)
+	}
+	if s7[1].Lane != 0 || s7[0].Lane != 1 {
+		t.Fatalf("lane change not preserved: %+v", s7)
+	}
+	if got := c.VehicleSeries(99); got != nil {
+		t.Fatalf("VehicleSeries(99) = %v, want nil", got)
+	}
+}
+
+// TestJSONLVehicleFloatExactness checks that awkward float64 values (the
+// kind closed-loop traffic integration produces) survive the JSONL round
+// trip bit-exactly — the property the record-then-replay determinism
+// contract rests on.
+func TestJSONLVehicleFloatExactness(t *testing.T) {
+	c := &Collector{}
+	vals := []float64{
+		1.0 / 3.0, math.Pi * 100, math.Nextafter(250, 251), 1e-17,
+		123456.78900000001, math.Sqrt(2) * 17.3,
+	}
+	for i, v := range vals {
+		c.OnVehicle(VehicleRecord{
+			At: time.Duration(i) * 100 * time.Millisecond, Veh: i,
+			Arc: v, Speed: v / 7,
+		})
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if got.Vehicles[i].Arc != v || got.Vehicles[i].Speed != v/7 {
+			t.Fatalf("float %d not exact: wrote %b read %b", i, v, got.Vehicles[i].Arc)
+		}
 	}
 }
 

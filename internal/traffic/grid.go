@@ -1,0 +1,118 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Grid is a uniform spatial hash over a bounding geom.Rect: the cheap
+// neighbor index that keeps "who is near this point" queries O(1) per
+// vehicle at any fleet size. The simulation rebuilds it every tick
+// (Reset + Insert are allocation-free after warm-up); scenarios use it
+// for density and AP-proximity queries. Iteration order is deterministic:
+// cells scan row-major, entries in insertion order.
+type Grid struct {
+	bounds     geom.Rect
+	cellM      float64
+	cols, rows int
+	cells      [][]GridEntry
+	count      int
+}
+
+// GridEntry is one indexed point.
+type GridEntry struct {
+	ID int
+	P  geom.Point
+}
+
+// NewGrid builds an empty index over bounds with the given cell size.
+func NewGrid(bounds geom.Rect, cellM float64) (*Grid, error) {
+	if cellM <= 0 {
+		return nil, fmt.Errorf("traffic: grid cell %v", cellM)
+	}
+	w, h := bounds.MaxX-bounds.MinX, bounds.MaxY-bounds.MinY
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("traffic: empty grid bounds %+v", bounds)
+	}
+	cols := int(math.Ceil(w/cellM)) + 1
+	rows := int(math.Ceil(h/cellM)) + 1
+	return &Grid{
+		bounds: bounds,
+		cellM:  cellM,
+		cols:   cols,
+		rows:   rows,
+		cells:  make([][]GridEntry, cols*rows),
+	}, nil
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return g.count }
+
+// Reset empties the index, keeping cell capacity for reuse.
+func (g *Grid) Reset() {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.count = 0
+}
+
+// cellAt clamps p into the grid and returns its cell index.
+func (g *Grid) cellAt(p geom.Point) int {
+	cx := int((p.X - g.bounds.MinX) / g.cellM)
+	cy := int((p.Y - g.bounds.MinY) / g.cellM)
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+// Insert adds one point. Points outside the bounds clamp into the edge
+// cells, so queries near the boundary still find them.
+func (g *Grid) Insert(id int, p geom.Point) {
+	i := g.cellAt(p)
+	g.cells[i] = append(g.cells[i], GridEntry{ID: id, P: p})
+	g.count++
+}
+
+// Near visits every indexed point within radiusM of p, in deterministic
+// cell-scan order. The visitor returns false to stop early.
+func (g *Grid) Near(p geom.Point, radiusM float64, visit func(GridEntry) bool) {
+	if radiusM < 0 {
+		return
+	}
+	minCX := clampInt(int((p.X-radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+	maxCX := clampInt(int((p.X+radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+	minCY := clampInt(int((p.Y-radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+	maxCY := clampInt(int((p.Y+radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+	r2 := radiusM * radiusM
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, e := range g.cells[cy*g.cols+cx] {
+				dx, dy := e.P.X-p.X, e.P.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					if !visit(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountWithin returns how many indexed points lie within radiusM of p.
+func (g *Grid) CountWithin(p geom.Point, radiusM float64) int {
+	n := 0
+	g.Near(p, radiusM, func(GridEntry) bool { n++; return true })
+	return n
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

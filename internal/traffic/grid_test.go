@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func testGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridNearFindsNeighbors(t *testing.T) {
+	g := testGrid(t)
+	g.Insert(1, geom.Point{X: 50, Y: 50})
+	g.Insert(2, geom.Point{X: 54, Y: 50})
+	g.Insert(3, geom.Point{X: 50, Y: 80}) // far away
+	g.Insert(4, geom.Point{X: 45, Y: 47})
+	var got []int
+	g.Near(geom.Point{X: 50, Y: 50}, 8, func(e GridEntry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	want := map[int]bool{1: true, 2: true, 4: true}
+	if len(got) != len(want) {
+		t.Fatalf("Near found %v, want ids %v", got, want)
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("unexpected neighbor %d", id)
+		}
+	}
+	if n := g.CountWithin(geom.Point{X: 50, Y: 50}, 8); n != 3 {
+		t.Fatalf("CountWithin = %d, want 3", n)
+	}
+	if n := g.CountWithin(geom.Point{X: 50, Y: 50}, 1000); n != 4 {
+		t.Fatalf("CountWithin(all) = %d, want 4", n)
+	}
+}
+
+func TestGridRadiusBoundary(t *testing.T) {
+	g := testGrid(t)
+	g.Insert(1, geom.Point{X: 50, Y: 50})
+	// Exactly on the radius counts; just outside does not.
+	if n := g.CountWithin(geom.Point{X: 58, Y: 50}, 8); n != 1 {
+		t.Fatalf("on-radius point missed: %d", n)
+	}
+	if n := g.CountWithin(geom.Point{X: 58.01, Y: 50}, 8); n != 0 {
+		t.Fatalf("outside-radius point found: %d", n)
+	}
+}
+
+func TestGridClampsOutOfBounds(t *testing.T) {
+	g := testGrid(t)
+	g.Insert(1, geom.Point{X: -20, Y: 50})  // clamps into the west edge
+	g.Insert(2, geom.Point{X: 130, Y: 130}) // clamps into the corner
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	if n := g.CountWithin(geom.Point{X: -20, Y: 50}, 5); n != 1 {
+		t.Fatalf("clamped point not found near itself: %d", n)
+	}
+}
+
+func TestGridResetReuses(t *testing.T) {
+	g := testGrid(t)
+	for i := 0; i < 50; i++ {
+		g.Insert(i, geom.Point{X: float64(i * 2), Y: 50})
+	}
+	g.Reset()
+	if g.Len() != 0 {
+		t.Fatalf("Len after reset = %d", g.Len())
+	}
+	if n := g.CountWithin(geom.Point{X: 50, Y: 50}, 1000); n != 0 {
+		t.Fatalf("stale entries after reset: %d", n)
+	}
+	g.Insert(7, geom.Point{X: 1, Y: 1})
+	if g.Len() != 1 || g.CountWithin(geom.Point{X: 1, Y: 1}, 2) != 1 {
+		t.Fatal("insert after reset broken")
+	}
+}
+
+func TestGridEarlyStop(t *testing.T) {
+	g := testGrid(t)
+	for i := 0; i < 10; i++ {
+		g.Insert(i, geom.Point{X: 50, Y: 50})
+	}
+	visits := 0
+	g.Near(geom.Point{X: 50, Y: 50}, 5, func(GridEntry) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Fatalf("visited %d entries, want early stop at 3", visits)
+	}
+}
+
+func TestGridRejectsBadConfig(t *testing.T) {
+	if _, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0); err == nil {
+		t.Fatal("zero cell accepted")
+	}
+	if _, err := NewGrid(geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 10}, 1); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/trace"
+)
+
+// Replay reconstructs per-vehicle mobility models from a recorded
+// traffic stream. The records must come from a simulation over the same
+// network (Config.Recorder wrote them); positions evaluate through the
+// same piecewise-linear rule live models use, so a replayed run is
+// byte-identical to the live-stepped run that produced the stream.
+type Replay struct {
+	net    *Network
+	tracks map[int][]sample
+	ids    []int
+}
+
+// NewReplay indexes a recorded stream. It validates that every record
+// references a link and lane that exist in the network and that each
+// vehicle's samples are chronological.
+func NewReplay(net *Network, col *trace.Collector) (*Replay, error) {
+	if net == nil {
+		return nil, fmt.Errorf("traffic: replay without network")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(col.Vehicles) == 0 {
+		return nil, fmt.Errorf("traffic: trace has no vehicle records")
+	}
+	r := &Replay{net: net, tracks: make(map[int][]sample)}
+	last := make(map[int]time.Duration)
+	for i, rec := range col.Vehicles {
+		if rec.Link < 0 || rec.Link >= len(net.Links) {
+			return nil, fmt.Errorf("traffic: record %d: link %d out of range", i, rec.Link)
+		}
+		l := net.Links[rec.Link]
+		if rec.Lane < 0 || rec.Lane >= l.Lanes {
+			return nil, fmt.Errorf("traffic: record %d: lane %d out of range", i, rec.Lane)
+		}
+		if prev, seen := last[rec.Veh]; seen && rec.At < prev {
+			return nil, fmt.Errorf("traffic: record %d: vehicle %d time goes backwards", i, rec.Veh)
+		}
+		last[rec.Veh] = rec.At
+		if _, seen := r.tracks[rec.Veh]; !seen {
+			r.ids = append(r.ids, rec.Veh)
+		}
+		r.tracks[rec.Veh] = append(r.tracks[rec.Veh], sample{
+			at:   rec.At,
+			link: int32(rec.Link),
+			lane: int32(rec.Lane),
+			arc:  rec.Arc,
+			v:    rec.Speed,
+		})
+	}
+	return r, nil
+}
+
+// VehicleIDs returns the replayed vehicle IDs in first-appearance order
+// (the simulation records vehicles in ID order, so this is ID order for
+// streams written by Config.Recorder).
+func (r *Replay) VehicleIDs() []int {
+	return append([]int(nil), r.ids...)
+}
+
+// Model returns the mobility model of one replayed vehicle.
+func (r *Replay) Model(id int) (mobility.Model, error) {
+	track, ok := r.tracks[id]
+	if !ok {
+		return nil, fmt.Errorf("traffic: no samples for vehicle %d", id)
+	}
+	net := r.net
+	return mobility.Func(func(now time.Duration) geom.Point {
+		return samplePos(net, track, now)
+	}), nil
+}

@@ -1,0 +1,648 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config parameterises a traffic simulation.
+type Config struct {
+	// Network is the road geometry. Required.
+	Network *Network
+	// Tick is the fixed integration step (default 100 ms).
+	Tick time.Duration
+	// RecordEvery is how many ticks pass between exposed trajectory
+	// samples (default 5, i.e. 2 Hz at the default tick). Lane and link
+	// changes always force a sample.
+	RecordEvery int
+	// Seed roots every per-vehicle random stream (turn choices).
+	Seed int64
+	// DisableLaneChanges turns the MOBIL rule off.
+	DisableLaneChanges bool
+	// SafeDecelMPS2 is the MOBIL safety bound b_safe: a lane change must
+	// not force the new follower below -b_safe (default 4).
+	SafeDecelMPS2 float64
+	// LaneChangeHoldoff is the per-vehicle cooldown between lane
+	// changes (default 5 s).
+	LaneChangeHoldoff time.Duration
+	// StopMarginM is how far before the link end vehicles halt at a red
+	// signal (default 2 m).
+	StopMarginM float64
+	// NeighborCellM is the spatial index cell size (default 30 m).
+	NeighborCellM float64
+	// Recorder, when non-nil, receives every exposed trajectory sample
+	// as a trace.VehicleRecord — the stream Replay reconstructs models
+	// from.
+	Recorder *trace.Collector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 100 * time.Millisecond
+	}
+	if c.RecordEvery <= 0 {
+		c.RecordEvery = 5
+	}
+	if c.SafeDecelMPS2 <= 0 {
+		c.SafeDecelMPS2 = 4
+	}
+	if c.LaneChangeHoldoff <= 0 {
+		c.LaneChangeHoldoff = 5 * time.Second
+	}
+	if c.StopMarginM <= 0 {
+		c.StopMarginM = 2
+	}
+	if c.NeighborCellM <= 0 {
+		c.NeighborCellM = 30
+	}
+	return c
+}
+
+// SpeedCap limits a vehicle's desired speed during a time window — the
+// deterministic perturbation used to trigger stop-and-go waves (a driver
+// rubber-necking, a slow truck merging).
+type SpeedCap struct {
+	From, To time.Duration
+	MaxMPS   float64
+}
+
+// VehicleSpec is one vehicle's initial state and behaviour.
+type VehicleSpec struct {
+	Driver DriverParams
+	// Link, Lane and ArcM place the vehicle; SpeedMPS is its initial
+	// speed.
+	Link     LinkID
+	Lane     int
+	ArcM     float64
+	SpeedMPS float64
+	// Route, when non-empty, is the cyclic link sequence the vehicle
+	// drives (Route[0] must equal Link). Empty means random turns drawn
+	// from the vehicle's own seeded stream.
+	Route []LinkID
+	// Caps are time-windowed speed limits (perturbations).
+	Caps []SpeedCap
+}
+
+// sample is one point of a vehicle's exposed piecewise-linear track.
+type sample struct {
+	at   time.Duration
+	link int32
+	lane int32
+	arc  float64
+	v    float64
+}
+
+type vehicle struct {
+	id   int
+	drv  DriverParams
+	link *Link
+	lane int
+	arc  float64
+	v    float64
+	a    float64
+	caps []SpeedCap
+
+	route    []LinkID
+	routePos int
+	next     *Link
+	rng      *rand.Rand
+
+	lastChange time.Duration
+	changed    bool
+	samples    []sample
+}
+
+// Simulation steps a closed-loop vehicle population over a road network
+// with a fixed tick. It is single-threaded and deterministic; see the
+// package doc for the contract.
+type Simulation struct {
+	cfg  Config
+	net  *Network
+	vehs []*vehicle
+	// lanes[link][lane] holds that lane's vehicles ordered by ascending
+	// arc. The ordering is the O(1) leader/gap structure: a vehicle's
+	// leader is simply the next slice element.
+	lanes [][][]*vehicle
+	grid  *Grid
+	// gridTick remembers which tick the spatial index was built for, so
+	// Index rebuilds lazily.
+	gridTick int
+	now      time.Duration
+	tick     int
+}
+
+// New validates the configuration and vehicle placement and returns a
+// ready simulation with every vehicle's initial sample recorded.
+func New(cfg Config, specs []VehicleSpec) (*Simulation, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Network == nil {
+		return nil, fmt.Errorf("traffic: nil network")
+	}
+	if err := cfg.Network.Validate(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("traffic: no vehicles")
+	}
+	s := &Simulation{
+		cfg:      cfg,
+		net:      cfg.Network,
+		lanes:    make([][][]*vehicle, len(cfg.Network.Links)),
+		gridTick: -1,
+	}
+	for i, l := range s.net.Links {
+		s.lanes[i] = make([][]*vehicle, l.Lanes)
+	}
+	var err error
+	s.grid, err = NewGrid(s.net.Bounds(), cfg.NeighborCellM)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		veh, err := s.newVehicle(i, spec)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: vehicle %d: %w", i, err)
+		}
+		s.vehs = append(s.vehs, veh)
+		s.lanes[veh.link.ID][veh.lane] = append(s.lanes[veh.link.ID][veh.lane], veh)
+	}
+	for li := range s.lanes {
+		for lane := range s.lanes[li] {
+			sortLane(s.lanes[li][lane])
+		}
+	}
+	for _, veh := range s.vehs {
+		veh.record(s.now, cfg.Recorder)
+	}
+	return s, nil
+}
+
+func (s *Simulation) newVehicle(id int, spec VehicleSpec) (*vehicle, error) {
+	if err := spec.Driver.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Link < 0 || int(spec.Link) >= len(s.net.Links) {
+		return nil, fmt.Errorf("link %d out of range", spec.Link)
+	}
+	l := s.net.Link(spec.Link)
+	if spec.Lane < 0 || spec.Lane >= l.Lanes {
+		return nil, fmt.Errorf("lane %d out of range [0,%d)", spec.Lane, l.Lanes)
+	}
+	if spec.ArcM < 0 || spec.ArcM >= l.Length() {
+		return nil, fmt.Errorf("arc %v out of range [0,%v)", spec.ArcM, l.Length())
+	}
+	if spec.SpeedMPS < 0 {
+		return nil, fmt.Errorf("speed %v", spec.SpeedMPS)
+	}
+	for i := range spec.Route {
+		cur, nxt := spec.Route[i], spec.Route[(i+1)%len(spec.Route)]
+		found := false
+		for _, n := range s.net.Link(cur).Next {
+			if n == nxt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("route hop %d: link %d does not continue onto %d", i, cur, nxt)
+		}
+	}
+	if len(spec.Route) > 0 && spec.Route[0] != spec.Link {
+		return nil, fmt.Errorf("route starts at link %d, vehicle on %d", spec.Route[0], spec.Link)
+	}
+	veh := &vehicle{
+		id:         id,
+		drv:        spec.Driver,
+		link:       l,
+		lane:       spec.Lane,
+		arc:        spec.ArcM,
+		v:          spec.SpeedMPS,
+		caps:       spec.Caps,
+		route:      spec.Route,
+		rng:        sim.Stream(s.cfg.Seed, fmt.Sprintf("traffic-veh-%d", id)),
+		lastChange: -time.Hour,
+	}
+	veh.chooseNext(s.net)
+	return veh, nil
+}
+
+// chooseNext picks the vehicle's continuation link.
+func (v *vehicle) chooseNext(net *Network) {
+	l := v.link
+	switch {
+	case l.loops:
+		v.next = l
+	case len(v.route) > 0:
+		v.next = net.Link(v.route[(v.routePos+1)%len(v.route)])
+	case len(l.Next) == 1:
+		v.next = net.Link(l.Next[0])
+	default:
+		v.next = net.Link(l.Next[v.rng.Intn(len(l.Next))])
+	}
+}
+
+// desiredSpeed is the effective v0: driver preference capped by the link
+// limit and any active perturbation window.
+func (v *vehicle) desiredSpeed(now time.Duration) float64 {
+	v0 := math.Min(v.drv.DesiredSpeedMPS, v.link.SpeedLimitMPS)
+	for _, c := range v.caps {
+		if now >= c.From && now < c.To && c.MaxMPS < v0 {
+			v0 = c.MaxMPS
+		}
+	}
+	return math.Max(v0, 0.1)
+}
+
+func (v *vehicle) record(now time.Duration, rec *trace.Collector) {
+	smp := sample{
+		at:   now,
+		link: int32(v.link.ID),
+		lane: int32(v.lane),
+		arc:  v.arc,
+		v:    v.v,
+	}
+	v.samples = append(v.samples, smp)
+	if rec != nil {
+		rec.OnVehicle(trace.VehicleRecord{
+			At: now, Veh: v.id,
+			Link: int(v.link.ID), Lane: v.lane,
+			Arc: v.arc, Speed: v.v,
+		})
+	}
+}
+
+// sortLane restores ascending-arc order; lanes are nearly sorted every
+// tick, so insertion sort is O(n) amortised.
+func sortLane(list []*vehicle) {
+	for i := 1; i < len(list); i++ {
+		for j := i; j > 0 && laneLess(list[j], list[j-1]); j-- {
+			list[j], list[j-1] = list[j-1], list[j]
+		}
+	}
+}
+
+func laneLess(a, b *vehicle) bool {
+	if a.arc != b.arc {
+		return a.arc < b.arc
+	}
+	return a.id < b.id
+}
+
+// Now returns the simulation clock.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// NumVehicles returns the vehicle count.
+func (s *Simulation) NumVehicles() int { return len(s.vehs) }
+
+// Step advances every vehicle by one tick.
+func (s *Simulation) Step() {
+	dt := s.cfg.Tick.Seconds()
+
+	// 1. Restore per-lane ordering.
+	for li := range s.lanes {
+		for lane := range s.lanes[li] {
+			sortLane(s.lanes[li][lane])
+		}
+	}
+
+	// 2. Car-following accelerations.
+	for li := range s.lanes {
+		l := s.net.Links[li]
+		stopLine := l.Length() - s.cfg.StopMarginM
+		red := l.Signal != NoSignal && !s.net.Signals[l.Signal].GreenFor(l.ID, s.now)
+		for lane := range s.lanes[li] {
+			list := s.lanes[li][lane]
+			for i, veh := range list {
+				v0 := veh.desiredSpeed(s.now)
+				a := veh.drv.IDMAccel(veh.v, 0, math.Inf(1), v0)
+				switch {
+				case i+1 < len(list):
+					lead := list[i+1]
+					gap := lead.arc - lead.drv.LengthM - veh.arc
+					a = math.Min(a, veh.drv.IDMAccel(veh.v, lead.v, gap, v0))
+				case l.loops && len(list) > 0:
+					// Wrap-around leader; alone, a vehicle follows its
+					// own tail a full circumference ahead.
+					lead := list[0]
+					gap := l.Length() - veh.arc + lead.arc - lead.drv.LengthM
+					a = math.Min(a, veh.drv.IDMAccel(veh.v, lead.v, gap, v0))
+				case veh.next != nil:
+					// Empty lane ahead: defer to the first vehicle on
+					// the chosen next link.
+					tl := veh.next
+					tLane := veh.lane
+					if tLane >= tl.Lanes {
+						tLane = tl.Lanes - 1
+					}
+					if nlist := s.lanes[tl.ID][tLane]; len(nlist) > 0 {
+						lead := nlist[0]
+						gap := l.Length() - veh.arc + lead.arc - lead.drv.LengthM
+						a = math.Min(a, veh.drv.IDMAccel(veh.v, lead.v, gap, v0))
+					}
+				}
+				if red && veh.arc < stopLine {
+					a = math.Min(a, veh.drv.IDMAccel(veh.v, 0, stopLine-veh.arc, v0))
+				}
+				veh.a = a
+			}
+		}
+	}
+
+	// 3. MOBIL lane changes, in vehicle-ID order.
+	if !s.cfg.DisableLaneChanges {
+		for _, veh := range s.vehs {
+			s.maybeChangeLane(veh)
+		}
+	}
+
+	// 4. Integrate. Positions move with the pre-update speed so one-tick
+	// linear extrapolation of a sample is exact (see package doc).
+	for _, veh := range s.vehs {
+		newArc := veh.arc + veh.v*dt
+		veh.v = math.Max(0, veh.v+veh.a*dt)
+		l := veh.link
+		if l.loops {
+			for newArc >= l.Length() {
+				newArc -= l.Length()
+			}
+		} else {
+			for newArc >= l.Length() {
+				newArc -= l.Length()
+				s.removeFromLane(veh)
+				if len(veh.route) > 0 {
+					veh.routePos++
+				}
+				veh.link = veh.next
+				if veh.lane >= veh.link.Lanes {
+					veh.lane = veh.link.Lanes - 1
+				}
+				veh.chooseNext(s.net)
+				s.insertIntoLane(veh)
+				veh.changed = true
+				l = veh.link
+			}
+		}
+		veh.arc = newArc
+	}
+
+	// 5. Advance the clock and record samples.
+	s.tick++
+	s.now += s.cfg.Tick
+	atSample := s.tick%s.cfg.RecordEvery == 0
+	for _, veh := range s.vehs {
+		if atSample || veh.changed {
+			veh.record(s.now, s.cfg.Recorder)
+			veh.changed = false
+		}
+	}
+}
+
+// maybeChangeLane applies the simplified MOBIL rule to one vehicle.
+func (s *Simulation) maybeChangeLane(veh *vehicle) {
+	l := veh.link
+	if l.Lanes < 2 || s.now-veh.lastChange < s.cfg.LaneChangeHoldoff {
+		return
+	}
+	v0 := veh.desiredSpeed(s.now)
+	bestLane, bestGain := -1, veh.drv.ChangeThresholdMPS2
+	var bestFollower *vehicle
+	var bestFollowerAccel float64
+	for _, target := range [2]int{veh.lane - 1, veh.lane + 1} {
+		if target < 0 || target >= l.Lanes {
+			continue
+		}
+		list := s.lanes[l.ID][target]
+		leader, follower := laneNeighbors(list, veh, l)
+		// Safety: room on both sides, and the new follower never forced
+		// below -b_safe.
+		aNew := veh.drv.IDMAccel(veh.v, 0, math.Inf(1), v0)
+		if leader != nil {
+			gap := gapAhead(veh, leader, l)
+			if gap < 0.5 {
+				continue
+			}
+			aNew = math.Min(aNew, veh.drv.IDMAccel(veh.v, leader.v, gap, v0))
+		}
+		red := l.Signal != NoSignal && !s.net.Signals[l.Signal].GreenFor(l.ID, s.now)
+		if stopLine := l.Length() - s.cfg.StopMarginM; red && veh.arc < stopLine {
+			aNew = math.Min(aNew, veh.drv.IDMAccel(veh.v, 0, stopLine-veh.arc, v0))
+		}
+		followerLoss := 0.0
+		var aFollowerNew float64
+		if follower != nil {
+			gap := gapAhead(follower, veh, l)
+			if gap < 0.5 {
+				continue
+			}
+			aFollowerNew = follower.drv.IDMAccel(follower.v, veh.v, gap, follower.desiredSpeed(s.now))
+			if aFollowerNew < -s.cfg.SafeDecelMPS2 {
+				continue
+			}
+			followerLoss = math.Max(0, follower.a-aFollowerNew)
+		}
+		gain := aNew - veh.a - veh.drv.Politeness*followerLoss
+		if gain > bestGain {
+			bestLane, bestGain = target, gain
+			bestFollower, bestFollowerAccel = follower, aFollowerNew
+		}
+	}
+	if bestLane < 0 {
+		return
+	}
+	s.removeFromLane(veh)
+	veh.lane = bestLane
+	s.insertIntoLane(veh)
+	veh.lastChange = s.now
+	veh.changed = true
+	// The vehicle keeps its previously computed acceleration for this
+	// tick; the new follower reacts immediately so the pair cannot step
+	// into the same space.
+	if bestFollower != nil && bestFollowerAccel < bestFollower.a {
+		bestFollower.a = bestFollowerAccel
+	}
+}
+
+// laneNeighbors finds the would-be leader and follower of veh in an
+// adjacent lane's ordered list, wrapping on loop links.
+func laneNeighbors(list []*vehicle, veh *vehicle, l *Link) (leader, follower *vehicle) {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if laneLess(list[mid], veh) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(list) {
+		leader = list[lo]
+	}
+	if lo > 0 {
+		follower = list[lo-1]
+	}
+	if l.loops && len(list) > 0 {
+		if leader == nil {
+			leader = list[0]
+		}
+		if follower == nil {
+			follower = list[len(list)-1]
+		}
+	}
+	return leader, follower
+}
+
+// gapAhead is the bumper-to-bumper gap from back to lead, unwrapping on
+// loop links.
+func gapAhead(back, lead *vehicle, l *Link) float64 {
+	d := lead.arc - back.arc
+	if l.loops && d < 0 {
+		d += l.Length()
+	}
+	return d - lead.drv.LengthM
+}
+
+func (s *Simulation) removeFromLane(veh *vehicle) {
+	list := s.lanes[veh.link.ID][veh.lane]
+	for i, v := range list {
+		if v == veh {
+			s.lanes[veh.link.ID][veh.lane] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("traffic: vehicle %d not in lane %d/%d", veh.id, veh.link.ID, veh.lane))
+}
+
+func (s *Simulation) insertIntoLane(veh *vehicle) {
+	list := s.lanes[veh.link.ID][veh.lane]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if laneLess(list[mid], veh) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	list = append(list, nil)
+	copy(list[lo+1:], list[lo:])
+	list[lo] = veh
+	s.lanes[veh.link.ID][veh.lane] = list
+}
+
+// RunTo steps the simulation until its clock reaches d.
+func (s *Simulation) RunTo(d time.Duration) {
+	for s.now < d {
+		s.Step()
+	}
+}
+
+// Attach drives the simulation from a discrete-event engine: every tick
+// up to horizon is pre-scheduled immediately, so tick events carry lower
+// sequence numbers than — and therefore fire before — any protocol event
+// scheduled later for the same instant. Call Attach before constructing
+// APs and protocol nodes, on a fresh simulation and a fresh engine.
+func (s *Simulation) Attach(eng *sim.Engine, horizon time.Duration) {
+	if s.tick != 0 {
+		panic("traffic: Attach on a stepped simulation")
+	}
+	step := func() { s.Step() }
+	for t := s.cfg.Tick; t <= horizon; t += s.cfg.Tick {
+		eng.ScheduleAt(t, step)
+	}
+}
+
+// Model exposes vehicle id's recorded track as a mobility model: the
+// latest sample at or before the query time, linearly extrapolated along
+// its lane at the sampled speed. Valid in live mode (samples appear as
+// the engine steps) and after RunTo.
+func (s *Simulation) Model(id int) mobility.Model {
+	veh := s.vehs[id]
+	net := s.net
+	return mobility.Func(func(now time.Duration) geom.Point {
+		return samplePos(net, veh.samples, now)
+	})
+}
+
+// samplePos evaluates a piecewise-linear track. Replayed and live models
+// share it, which is what makes record-then-replay byte-identical.
+func samplePos(net *Network, samples []sample, now time.Duration) geom.Point {
+	if len(samples) == 0 {
+		return geom.Point{}
+	}
+	// Latest sample with at <= now.
+	lo, hi := 0, len(samples)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if samples[mid].at <= now {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var smp sample
+	if lo == 0 {
+		smp = samples[0]
+		now = smp.at
+	} else {
+		smp = samples[lo-1]
+	}
+	l := net.Links[smp.link]
+	arc := smp.arc + smp.v*(now-smp.at).Seconds()
+	if !l.loops {
+		arc = math.Min(arc, l.Length())
+	}
+	return l.LanePoint(int(smp.lane), arc)
+}
+
+// State reports vehicle id's instantaneous road coordinates.
+func (s *Simulation) State(id int) (link LinkID, lane int, arcM, speedMPS float64) {
+	veh := s.vehs[id]
+	return veh.link.ID, veh.lane, veh.arc, veh.v
+}
+
+// PositionNow returns vehicle id's exact current plane position (not the
+// sampled track).
+func (s *Simulation) PositionNow(id int) geom.Point {
+	veh := s.vehs[id]
+	return veh.link.LanePoint(veh.lane, veh.arc)
+}
+
+// MeanSpeedMPS averages the instantaneous speeds.
+func (s *Simulation) MeanSpeedMPS() float64 {
+	var sum float64
+	for _, veh := range s.vehs {
+		sum += veh.v
+	}
+	return sum / float64(len(s.vehs))
+}
+
+// StoppedCount returns how many vehicles move slower than threshold.
+func (s *Simulation) StoppedCount(thresholdMPS float64) int {
+	n := 0
+	for _, veh := range s.vehs {
+		if veh.v < thresholdMPS {
+			n++
+		}
+	}
+	return n
+}
+
+// Index returns the spatial neighbor index rebuilt for the current tick.
+// The returned grid is valid until the next Step.
+func (s *Simulation) Index() *Grid {
+	if s.gridTick != s.tick {
+		s.grid.Reset()
+		for _, veh := range s.vehs {
+			s.grid.Insert(veh.id, veh.link.LanePoint(veh.lane, veh.arc))
+		}
+		s.gridTick = s.tick
+	}
+	return s.grid
+}
