@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-traffic bench-json fmt vet check
+.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check
 
 all: build test
 
@@ -30,10 +30,17 @@ bench-traffic:
 # Machine-readable benchmark snapshot; the committed BENCH_<n>.json files
 # track the perf trajectory PR over PR. Two steps (not a pipe) so a
 # failed bench run cannot silently produce a truncated snapshot.
+BENCH_OUT ?= BENCH_3.json
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out.tmp
-	$(GO) run ./cmd/benchjson < bench.out.tmp > BENCH_2.json
+	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_OUT)
 	rm bench.out.tmp
+
+# Diff the two newest committed snapshots: fails on any shared benchmark
+# regressing its ns/op by more than 2x. Deterministic (committed files
+# only), so CI can gate on it without re-running benchmarks.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
 
 fmt:
 	@out="$$(gofmt -l .)"; \

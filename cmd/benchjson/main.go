@@ -3,14 +3,22 @@
 // (BENCH_*.json) and diffed across PRs to track the perf trajectory.
 //
 //	go test -run=NONE -bench=. -benchtime=1x . | go run ./cmd/benchjson
+//
+// With -compare it instead diffs two committed snapshots and fails (exit
+// 1) when any benchmark present in both regressed its ns/op by more than
+// -factor:
+//
+//	go run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -98,7 +106,117 @@ func parseBenchLine(line string) (Result, bool) {
 	return res, true
 }
 
+// Regression is one benchmark whose ns/op worsened past the factor.
+type Regression struct {
+	Name   string
+	OldNs  float64
+	NewNs  float64
+	Factor float64
+}
+
+// benchKey identifies a benchmark across snapshots. The package qualifier
+// keeps same-named benchmarks in different packages apart.
+func benchKey(r Result) string {
+	if r.Pkg == "" {
+		return r.Name
+	}
+	return r.Pkg + "." + r.Name
+}
+
+// Compare diffs the shared benchmarks of two reports and returns the ones
+// whose ns/op grew by more than factor. Benchmarks present in only one
+// snapshot (added or retired) are ignored: the gate is about regressions,
+// not catalogue churn.
+func Compare(old, new *Report, factor float64) []Regression {
+	oldNs := make(map[string]float64)
+	for _, b := range old.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
+			oldNs[benchKey(b)] = ns
+		}
+	}
+	var regs []Regression
+	for _, b := range new.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || ns <= 0 {
+			continue
+		}
+		prev, shared := oldNs[benchKey(b)]
+		if !shared {
+			continue
+		}
+		if ns > prev*factor {
+			regs = append(regs, Regression{
+				Name: benchKey(b), OldNs: prev, NewNs: ns, Factor: ns / prev,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Factor > regs[j].Factor })
+	return regs
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func runCompare(oldPath, newPath string, factor float64) error {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	regs := Compare(old, newRep, factor)
+	shared := 0
+	oldNames := make(map[string]bool, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldNames[benchKey(b)] = true
+	}
+	for _, b := range newRep.Benchmarks {
+		if oldNames[benchKey(b)] {
+			shared++
+		}
+	}
+	fmt.Printf("benchjson: %d shared benchmarks (%s -> %s), regression factor %.1fx\n",
+		shared, oldPath, newPath, factor)
+	if len(regs) == 0 {
+		fmt.Println("benchjson: no regressions")
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Printf("  REGRESSION %-60s %12.0f -> %12.0f ns/op (%.2fx)\n", r.Name, r.OldNs, r.NewNs, r.Factor)
+	}
+	return fmt.Errorf("%d benchmark(s) regressed more than %.1fx", len(regs), factor)
+}
+
 func main() {
+	var (
+		compare = flag.Bool("compare", false, "compare two BENCH_*.json snapshots instead of converting stdin")
+		factor  = flag.Float64("factor", 2, "ns/op growth beyond which -compare reports a regression")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *factor); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)

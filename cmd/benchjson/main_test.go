@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -59,5 +62,77 @@ func TestParseSkipsMalformed(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "BenchmarkOK" {
 		t.Fatalf("benchmarks = %+v", rep.Benchmarks)
+	}
+}
+
+func mkReport(ns map[string]float64) *Report {
+	rep := &Report{Schema: "bench/1"}
+	for name, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Pkg: "repro", Name: name, Iterations: 1,
+			Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return rep
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := mkReport(map[string]float64{
+		"BenchmarkA": 100, "BenchmarkB": 1000, "BenchmarkGone": 50,
+	})
+	now := mkReport(map[string]float64{
+		"BenchmarkA":   150,  // 1.5x: fine under 2x
+		"BenchmarkB":   2500, // 2.5x: regression
+		"BenchmarkNew": 9e9,  // not shared: ignored
+	})
+	regs := Compare(old, now, 2)
+	if len(regs) != 1 || regs[0].Name != "repro.BenchmarkB" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Factor < 2.49 || regs[0].Factor > 2.51 {
+		t.Fatalf("factor = %v", regs[0].Factor)
+	}
+	if got := Compare(old, now, 3); len(got) != 0 {
+		t.Fatalf("3x factor should pass, got %+v", got)
+	}
+}
+
+func TestComparePackageQualified(t *testing.T) {
+	// Same benchmark name in different packages must not cross-match.
+	old := &Report{Benchmarks: []Result{
+		{Pkg: "a", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	now := &Report{Benchmarks: []Result{
+		{Pkg: "b", Name: "BenchmarkX", Metrics: map[string]float64{"ns/op": 1e6}},
+	}}
+	if regs := Compare(old, now, 2); len(regs) != 0 {
+		t.Fatalf("cross-package match: %+v", regs)
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", mkReport(map[string]float64{"BenchmarkA": 100}))
+	okPath := write("ok.json", mkReport(map[string]float64{"BenchmarkA": 120}))
+	badPath := write("bad.json", mkReport(map[string]float64{"BenchmarkA": 500}))
+	if err := runCompare(oldPath, okPath, 2); err != nil {
+		t.Fatalf("clean compare failed: %v", err)
+	}
+	if err := runCompare(oldPath, badPath, 2); err == nil {
+		t.Fatal("5x regression not reported")
+	}
+	if err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 2); err == nil {
+		t.Fatal("missing file not reported")
 	}
 }

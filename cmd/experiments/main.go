@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -73,8 +74,9 @@ func main() {
 	}
 }
 
-// printCatalogue renders the registry as the experiment catalogue.
-func printCatalogue(w *os.File) {
+// printCatalogue renders the registry as the experiment catalogue: one
+// line per study with its CLI name, aliases and the "A<n>: ..." title.
+func printCatalogue(w io.Writer) {
 	fmt.Fprintln(w, "Registered experiments (run order under -exp all):")
 	fmt.Fprintln(w)
 	for _, e := range harness.Experiments() {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,6 +17,7 @@ func TestCatalogueRegistered(t *testing.T) {
 		"table1", "batch", "selection", "apretx", "platoon", "download",
 		"bitrate", "epidemic", "highway", "combining", "adaptive",
 		"corridor", "ttl", "dynamics", "twoway", "trafficgrid", "stopgo",
+		"cityscale",
 	}
 	names := harness.Names()
 	byName := map[string]bool{}
@@ -40,6 +42,35 @@ func TestCatalogueRegistered(t *testing.T) {
 	}
 	if _, ok := harness.Lookup("figures"); !ok {
 		t.Fatal("alias figures not registered")
+	}
+}
+
+// TestListCatalogue is the -list smoke test: the catalogue must name every
+// registered study with its A<n> identifier and one-line description, so
+// `experiments -list` is a usable index of the evaluation.
+func TestListCatalogue(t *testing.T) {
+	var buf strings.Builder
+	printCatalogue(&buf)
+	out := buf.String()
+	for _, name := range harness.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("catalogue misses study %q:\n%s", name, out)
+		}
+	}
+	// Studies A1..A17 carry their identifier in the title.
+	for i := 1; i <= 17; i++ {
+		id := fmt.Sprintf("A%d:", i)
+		if !strings.Contains(out, id) {
+			t.Errorf("catalogue misses %s", id)
+		}
+	}
+	if !strings.Contains(out, "figures") {
+		t.Error("catalogue misses the figures alias")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "  ") && len(strings.Fields(line)) < 2 {
+			t.Errorf("catalogue entry without description: %q", line)
+		}
 	}
 }
 

@@ -61,6 +61,10 @@ type Polyline struct {
 	// cum[i] is the arc length from pts[0] to pts[i]; cum[len-1] is the
 	// total length.
 	cum []float64
+	// dirs[i] is the unit direction of segment i (pts[i] -> pts[i+1]),
+	// precomputed because Heading sits on the mobility hot path (one
+	// call per station position evaluation).
+	dirs []Vec
 }
 
 // NewPolyline builds a polyline through the given points. It requires at
@@ -73,13 +77,15 @@ func NewPolyline(pts ...Point) (*Polyline, error) {
 	cp := make([]Point, len(pts))
 	copy(cp, pts)
 	cum := make([]float64, len(cp))
+	dirs := make([]Vec, len(cp)-1)
 	for i := 1; i < len(cp); i++ {
 		cum[i] = cum[i-1] + cp[i].Dist(cp[i-1])
+		dirs[i-1] = cp[i].Sub(cp[i-1]).Unit()
 	}
 	if cum[len(cum)-1] == 0 {
 		return nil, fmt.Errorf("geom: polyline has zero total length")
 	}
-	return &Polyline{pts: cp, cum: cum}, nil
+	return &Polyline{pts: cp, cum: cum, dirs: dirs}, nil
 }
 
 // MustPolyline is NewPolyline but panics on error; for static scenario
@@ -164,5 +170,5 @@ func (pl *Polyline) Heading(s float64) Vec {
 			hi = mid
 		}
 	}
-	return pl.pts[hi].Sub(pl.pts[lo]).Unit()
+	return pl.dirs[lo]
 }

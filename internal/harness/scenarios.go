@@ -3,6 +3,7 @@ package harness
 import (
 	"time"
 
+	"repro/internal/packet"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -171,6 +172,33 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 	}
 	b.addRounds("trafficgrid", point, ncfg.Rounds, func(round int) error {
 		col, stream, err := scenario.TrafficGridRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round], res.Traffic[round] = col, stream
+		return nil
+	})
+	return res
+}
+
+// CityScale adds every round of one city-scale parameter point.
+func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.CityScaleResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.CityScaleResult{}
+	}
+	res := &scenario.CityScaleResult{
+		Config:  ncfg,
+		CarIDs:  scenario.CarIDs(ncfg.Cars),
+		Rounds:  make([]*trace.Collector, ncfg.Rounds),
+		Traffic: make([]*trace.Collector, ncfg.Rounds),
+	}
+	for i := 0; i < ncfg.APs; i++ {
+		res.APIDs = append(res.APIDs, scenario.APID+packet.NodeID(i))
+	}
+	b.addRounds("cityscale", point, ncfg.Rounds, func(round int) error {
+		col, stream, err := scenario.CityScaleRound(ncfg, round)
 		if err != nil {
 			return err
 		}

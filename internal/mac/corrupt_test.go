@@ -23,11 +23,12 @@ func TestDeliverCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Far stations: the frame always fails the channel.
+	// Marginal stations — inside the reception horizon (detectable) but
+	// far enough that the frame always fails the channel.
 	softCfg := DefaultConfig()
 	softCfg.DeliverCorrupt = true
 	var soft []RxMeta
-	if _, err := m.AddStation(2, fixedPos(geom.Point{X: 5000}), HandlerFunc(func(f *packet.Frame, meta RxMeta) {
+	if _, err := m.AddStation(2, fixedPos(geom.Point{X: 500}), HandlerFunc(func(f *packet.Frame, meta RxMeta) {
 		soft = append(soft, meta)
 		if f.Seq != 9 {
 			t.Errorf("corrupt frame decoded wrong: %v", f)
@@ -36,7 +37,7 @@ func TestDeliverCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	var hard []RxMeta
-	if _, err := m.AddStation(3, fixedPos(geom.Point{X: 5000}), HandlerFunc(func(f *packet.Frame, meta RxMeta) {
+	if _, err := m.AddStation(3, fixedPos(geom.Point{X: 500}), HandlerFunc(func(f *packet.Frame, meta RxMeta) {
 		hard = append(hard, meta)
 	}), DefaultConfig()); err != nil {
 		t.Fatal(err)

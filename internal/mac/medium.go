@@ -9,10 +9,13 @@ import (
 	"repro/internal/packet"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 )
 
 // PositionFunc reports a station's position at a virtual time. Mobility
-// models provide these.
+// models provide these. Position functions must be pure (no side effects,
+// same answer for the same time): the medium may evaluate them a different
+// number of times depending on its delivery mode.
 type PositionFunc func(now time.Duration) geom.Point
 
 // RxMeta carries the PHY-level context of a received frame.
@@ -58,44 +61,160 @@ func (nopTracer) OnDrop(packet.NodeID, *packet.Frame, time.Duration, DropReason)
 
 // transmission is one frame on the air.
 type transmission struct {
-	src     *Station
-	frame   *packet.Frame
-	wire    []byte
-	mod     radio.Modulation
-	start   time.Duration
-	end     time.Duration
-	rxPower map[packet.NodeID]float64 // mean rx power at each other station, sampled at start
+	src   *Station
+	frame *packet.Frame
+	wire  []byte
+	mod   radio.Modulation
+	start time.Duration
+	end   time.Duration
+	// dests are the stations inside the transmission's reception horizon
+	// at start, in registration order — the only stations the frame can
+	// reach, interfere at, or be sensed by (see MediumConfig).
+	dests []*Station
+	// pows[i] is the mean rx power at dests[i], sampled at start. A
+	// parallel slice, not a map: the horizon keeps the set small enough
+	// that a linear scan beats hashing, and the allocation matters at
+	// city-scale transmission rates.
+	pows []float64
+}
+
+// powerAt returns the transmission's mean rx power at station s, if s was
+// inside its horizon.
+func (t *transmission) powerAt(s *Station) (float64, bool) {
+	for i, d := range t.dests {
+		if d == s {
+			return t.pows[i], true
+		}
+	}
+	return 0, false
 }
 
 func (t *transmission) overlaps(s, e time.Duration) bool {
 	return t.start < e && t.end > s
 }
 
+// MediumConfig tunes how the medium finds each transmission's potential
+// receivers. The zero value gives the spatially-indexed path with
+// defaults; it never changes WHAT is delivered, only how the receiver set
+// is enumerated — Exhaustive true/false produce byte-identical traces.
+type MediumConfig struct {
+	// Exhaustive scans every registered station per transmission instead
+	// of querying the spatial index. Kept as the equivalence oracle for
+	// tests and as the fallback for workloads with few stations.
+	Exhaustive bool
+	// RefreshInterval bounds how stale the spatial index may grow before
+	// a transmission rebuilds it from the stations' position functions
+	// (default 500 ms of virtual time). Staleness is compensated by
+	// padding queries with MaxSpeedMPS times the index age, so the
+	// interval trades index rebuild cost against query width, never
+	// correctness.
+	RefreshInterval time.Duration
+	// MaxSpeedMPS bounds how fast any station may move (default 60).
+	// It is a contract with the mobility models: a station exceeding it
+	// could outrun the stale-index pad and miss deliveries.
+	MaxSpeedMPS float64
+	// CellM is the spatial index cell size (default 250 m).
+	CellM float64
+	// MinIndexStations is the population below which the indexed path
+	// falls back to the plain scan (rebuilding a grid for a handful of
+	// stations costs more than looking at all of them). 0 defaults to
+	// 16; negative forces the index at any population — equivalence
+	// tests use that to exercise the indexed path on small scenarios.
+	MinIndexStations int
+}
+
+func (c MediumConfig) withDefaults() MediumConfig {
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 500 * time.Millisecond
+	}
+	if c.MaxSpeedMPS <= 0 {
+		c.MaxSpeedMPS = 60
+	}
+	if c.CellM <= 0 {
+		c.CellM = 250
+	}
+	if c.MinIndexStations == 0 {
+		c.MinIndexStations = 16
+	}
+	return c
+}
+
 // Medium is the shared wireless channel. It owns the set of stations, the
 // list of in-flight transmissions, and the delivery logic.
+//
+// Delivery is range-culled: every transmission computes its reception
+// horizon — the distance beyond which the channel guarantees the frame
+// cannot be decoded (even with the maximum fading/shadowing boost), cannot
+// trigger carrier sense at any station, and is treated as contributing no
+// interference (its power there is provably below the weakest relevant
+// floor, at least ~15 dB under noise). Only stations inside the horizon
+// are considered. The horizon is part of the channel model: the indexed
+// and exhaustive paths apply the same cut, in the same station order, so
+// their traces are byte-identical.
 type Medium struct {
 	engine   *sim.Engine
 	channel  *radio.Channel
 	tracer   Tracer
+	cfg      MediumConfig
 	stations map[packet.NodeID]*Station
 	order    []*Station // deterministic iteration order
 	active   []*transmission
 	// history keeps recently ended transmissions long enough to compute
 	// interference for frames that overlapped them.
 	history []*transmission
+	// maxAirtime widens the history retention so that even the longest
+	// frame seen stays available for overlap queries.
+	maxAirtime time.Duration
+
+	// minCSDBm is the lowest carrier-sense threshold across stations; the
+	// reception horizon must reach at least as far as the most sensitive
+	// carrier sensor.
+	minCSDBm float64
+	// rangeCache memoises the per-(modulation, frame size) horizon.
+	rangeCache map[rangeKey]float64
+
+	// index is the spatial station index for the indexed delivery path,
+	// rebuilt lazily from the stations' position functions.
+	index   *spatial.Grid[packet.NodeID]
+	indexAt time.Duration
+	indexOK bool
+	// waitlist holds stations that flagged themselves waiting for an idle
+	// medium; endTransmission wakes exactly these (in registration
+	// order) instead of scanning every station.
+	waitlist []*Station
+	// scratch buffers, reused across transmissions.
+	cand     []*Station
+	rxc      []rxCand
+	pts      []geom.Point
+	overlaps []*transmission
+	wake     []*Station
 }
 
-// NewMedium creates a medium over the given engine and channel. A nil
-// tracer disables tracing.
+type rangeKey struct {
+	mod   string
+	bytes int
+}
+
+// NewMedium creates a medium over the given engine and channel with the
+// default (spatially indexed) configuration. A nil tracer disables
+// tracing.
 func NewMedium(engine *sim.Engine, channel *radio.Channel, tracer Tracer) *Medium {
+	return NewMediumWith(engine, channel, tracer, MediumConfig{})
+}
+
+// NewMediumWith is NewMedium with an explicit delivery configuration.
+func NewMediumWith(engine *sim.Engine, channel *radio.Channel, tracer Tracer, cfg MediumConfig) *Medium {
 	if tracer == nil {
 		tracer = nopTracer{}
 	}
 	return &Medium{
-		engine:   engine,
-		channel:  channel,
-		tracer:   tracer,
-		stations: make(map[packet.NodeID]*Station),
+		engine:     engine,
+		channel:    channel,
+		tracer:     tracer,
+		cfg:        cfg.withDefaults(),
+		stations:   make(map[packet.NodeID]*Station),
+		minCSDBm:   math.Inf(1),
+		rangeCache: make(map[rangeKey]float64),
 	}
 }
 
@@ -119,6 +238,7 @@ func (m *Medium) AddStation(id packet.NodeID, pos PositionFunc, handler Handler,
 	}
 	s := &Station{
 		id:      id,
+		idx:     len(m.order),
 		medium:  m,
 		pos:     pos,
 		handler: handler,
@@ -127,21 +247,130 @@ func (m *Medium) AddStation(id packet.NodeID, pos PositionFunc, handler Handler,
 	}
 	m.stations[id] = s
 	m.order = append(m.order, s)
+	m.indexOK = false // force a rebuild that includes the newcomer
+	if cfg.CSThresholdDBm < m.minCSDBm {
+		m.minCSDBm = cfg.CSThresholdDBm
+		// The horizon may widen for the more sensitive carrier sensor.
+		clear(m.rangeCache)
+	}
 	return s, nil
 }
 
 // Station returns the registered station with the given id, or nil.
 func (m *Medium) Station(id packet.NodeID) *Station { return m.stations[id] }
 
+// maxRangeFor returns the reception horizon of a frame: the distance
+// beyond which its mean rx power — even with the maximum shadowing boost —
+// is provably below both the decode floor (for this modulation and size,
+// including the maximum fading boost) and every station's carrier-sense
+// threshold.
+func (m *Medium) maxRangeFor(mod radio.Modulation, bytes int) float64 {
+	key := rangeKey{mod.Name, bytes}
+	if r, ok := m.rangeCache[key]; ok {
+		return r
+	}
+	floor := m.channel.CertainLossFloorDBm(mod, bytes)
+	if m.minCSDBm < floor {
+		floor = m.minCSDBm
+	}
+	r := m.channel.MaxRangeM(floor)
+	m.rangeCache[key] = r
+	return r
+}
+
+// rxCand couples a candidate receiver with its exact position at the
+// transmission start.
+type rxCand struct {
+	st  *Station
+	pos geom.Point
+}
+
+// recipients returns the stations inside maxRange of srcPos at now, in
+// registration order, excluding src. The indexed and exhaustive paths
+// enumerate exactly the same set with exactly the same distance test, so
+// they consume identical channel randomness downstream.
+func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, maxRange float64) []rxCand {
+	if m.cfg.Exhaustive || math.IsInf(maxRange, 1) || len(m.order) < m.cfg.MinIndexStations {
+		out := m.rxc[:0]
+		for _, rx := range m.order {
+			if rx == src {
+				continue
+			}
+			p := rx.pos(now)
+			if srcPos.Dist(p) <= maxRange {
+				out = append(out, rxCand{rx, p})
+			}
+		}
+		m.rxc = out
+		return out
+	}
+
+	m.refreshIndex(now)
+	// The index holds positions sampled at indexAt; a station may have
+	// moved since, but no further than its speed bound allows.
+	pad := m.cfg.MaxSpeedMPS * (now - m.indexAt).Seconds()
+	m.cand = m.cand[:0]
+	m.index.Near(srcPos, maxRange+pad, func(e spatial.Entry[packet.NodeID]) bool {
+		if e.ID != src.id {
+			m.cand = append(m.cand, m.stations[e.ID])
+		}
+		return true
+	})
+	// Registration order, then the exact same filter the scan applies.
+	sortStationsByIdx(m.cand)
+	out := m.rxc[:0]
+	for _, rx := range m.cand {
+		p := rx.pos(now)
+		if srcPos.Dist(p) <= maxRange {
+			out = append(out, rxCand{rx, p})
+		}
+	}
+	m.rxc = out
+	return out
+}
+
+// refreshIndex rebuilds the spatial index from the stations' current
+// positions when it is missing or older than the refresh interval.
+func (m *Medium) refreshIndex(now time.Duration) {
+	if m.indexOK && now-m.indexAt <= m.cfg.RefreshInterval {
+		return
+	}
+	m.pts = m.pts[:0]
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, s := range m.order {
+		p := s.pos(now)
+		m.pts = append(m.pts, p)
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	// Pad so the bounds are never degenerate.
+	bounds := geom.Rect{
+		MinX: minX - m.cfg.CellM, MinY: minY - m.cfg.CellM,
+		MaxX: maxX + m.cfg.CellM, MaxY: maxY + m.cfg.CellM,
+	}
+	if m.index == nil {
+		m.index, _ = spatial.NewGrid[packet.NodeID](bounds, m.cfg.CellM)
+	} else if err := m.index.Reindex(bounds, m.cfg.CellM); err != nil {
+		panic(fmt.Sprintf("mac: reindex: %v", err))
+	}
+	for i, s := range m.order {
+		m.index.Insert(s.id, m.pts[i])
+	}
+	m.indexAt = now
+	m.indexOK = true
+}
+
 // busyFor reports whether any in-flight transmission is sensed above the
 // station's carrier-sense threshold (or the station itself is
-// transmitting).
+// transmitting). Transmissions keep no power entry for stations beyond
+// their horizon — by construction those arrive below every threshold.
 func (m *Medium) busyFor(s *Station) bool {
 	for _, tx := range m.active {
 		if tx.src == s {
 			return true
 		}
-		if tx.rxPower[s.id] >= s.cfg.CSThresholdDBm {
+		if p, ok := tx.powerAt(s); ok && p >= s.cfg.CSThresholdDBm {
 			return true
 		}
 	}
@@ -153,32 +382,32 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	now := m.engine.Now()
 	mod := src.cfg.Modulation
 	airtime := secondsToDuration(mod.Airtime(len(wire)))
-	tx := &transmission{
-		src:     src,
-		frame:   f,
-		wire:    wire,
-		mod:     mod,
-		start:   now,
-		end:     now + airtime,
-		rxPower: make(map[packet.NodeID]float64, len(m.order)-1),
-	}
 	srcPos := src.pos(now)
-	for _, rx := range m.order {
-		if rx == src {
-			continue
-		}
-		tx.rxPower[rx.id] = m.channel.MeanRxPowerDBm(src.id, rx.id, srcPos, rx.pos(now), now)
+	cands := m.recipients(src, srcPos, now, m.maxRangeFor(mod, len(wire)))
+	tx := &transmission{
+		src:   src,
+		frame: f,
+		wire:  wire,
+		mod:   mod,
+		start: now,
+		end:   now + airtime,
+		dests: make([]*Station, len(cands)),
+		pows:  make([]float64, len(cands)),
+	}
+	for i, c := range cands {
+		tx.dests[i] = c.st
+		tx.pows[i] = m.channel.MeanRxPowerDBm(src.id, c.st.id, srcPos, c.pos, now)
 	}
 	m.active = append(m.active, tx)
+	if airtime > m.maxAirtime {
+		m.maxAirtime = airtime
+	}
 	m.tracer.OnTx(src.id, f, now, airtime)
 
 	// Stations that sense the new transmission abort their contention and
 	// wait for the medium to free.
-	for _, s := range m.order {
-		if s == src {
-			continue
-		}
-		if tx.rxPower[s.id] >= s.cfg.CSThresholdDBm {
+	for i, s := range tx.dests {
+		if tx.pows[i] >= s.cfg.CSThresholdDBm {
 			s.onMediumBusy()
 		}
 	}
@@ -198,36 +427,95 @@ func (m *Medium) endTransmission(tx *transmission) {
 		}
 	}
 	m.history = append(m.history, tx)
-	m.pruneHistory(now)
-
-	for _, rx := range m.order {
-		if rx == tx.src {
-			continue
-		}
-		m.deliver(tx, rx)
+	// Prune lazily: retention only bounds memory (the overlap filter
+	// below re-checks time windows), so scanning the history on every
+	// single end is wasted work on the hot path.
+	if len(m.history) >= 32 {
+		m.pruneHistory(now)
 	}
 
-	tx.src.onOwnTxEnd()
+	// Collect the transmissions that overlapped tx once, instead of
+	// rescanning the whole active+history list per receiver: the overlap
+	// set is a handful of frames even when the history holds hundreds.
+	m.overlaps = m.overlaps[:0]
+	for _, other := range m.active {
+		if other != tx && other.overlaps(tx.start, tx.end) {
+			m.overlaps = append(m.overlaps, other)
+		}
+	}
+	for _, other := range m.history {
+		if other != tx && other.overlaps(tx.start, tx.end) {
+			m.overlaps = append(m.overlaps, other)
+		}
+	}
+
+	for i := range tx.dests {
+		m.deliver(tx, i)
+	}
+
 	// The medium may have become idle for stations with pending traffic.
-	for _, s := range m.order {
-		if s != tx.src && s.wantsMedium() {
+	// Exactly the stations that flagged themselves waiting are woken, in
+	// registration order — the order the historical full scan used — so
+	// same-instant contention events keep their scheduling sequence.
+	//
+	// The snapshot is taken BEFORE the sender re-contends: if its next
+	// frame finds the medium still busy (a transmission it senses is
+	// still on air), its re-registration must land on the fresh waitlist
+	// and survive to the next wake-up. The sender itself is never in the
+	// snapshot — it cannot have been waiting while transmitting.
+	m.wake = append(m.wake[:0], m.waitlist...)
+	m.waitlist = m.waitlist[:0]
+	for _, s := range m.wake {
+		s.queuedWait = false
+	}
+	sortStationsByIdx(m.wake)
+	tx.src.onOwnTxEnd()
+	for _, s := range m.wake {
+		if s.wantsMedium() {
 			s.onMediumMaybeIdle()
+		} else if s.waiting {
+			// Still blocked for another reason; keep it on the list for
+			// the next wake-up.
+			m.enqueueWaiting(s)
 		}
 	}
 }
 
-// deliver decides whether receiver rx successfully captured tx.
-func (m *Medium) deliver(tx *transmission, rx *Station) {
+// sortStationsByIdx restores registration order — the ordering contract
+// behind indexed/exhaustive byte-identity. Insertion sort: the slices are
+// small and allocation matters on these paths.
+func sortStationsByIdx(ss []*Station) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j].idx < ss[j-1].idx; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// enqueueWaiting registers a station for the next medium-idle wake-up.
+func (m *Medium) enqueueWaiting(s *Station) {
+	if !s.queuedWait {
+		s.queuedWait = true
+		m.waitlist = append(m.waitlist, s)
+	}
+}
+
+// deliver decides whether receiver tx.dests[i] successfully captured tx.
+func (m *Medium) deliver(tx *transmission, i int) {
+	rx := tx.dests[i]
 	now := m.engine.Now()
 	// Half-duplex: a station transmitting during any part of the frame
-	// cannot receive it.
-	if m.stationTransmittedDuring(rx, tx.start, tx.end) {
-		m.tracer.OnDrop(rx.id, tx.frame, now, DropHalfDuplex)
-		return
+	// cannot receive it. A transmission of rx's own overlapping tx is, by
+	// definition, in the precomputed overlap set.
+	for _, other := range m.overlaps {
+		if other.src == rx {
+			m.tracer.OnDrop(rx.id, tx.frame, now, DropHalfDuplex)
+			return
+		}
 	}
 
-	rxPower := tx.rxPower[rx.id]
-	interference := m.interferenceAt(rx, tx)
+	rxPower := tx.pows[i]
+	interference := m.interferenceAt(rx)
 
 	noise := m.channel.NoiseFloorDBm()
 	if interference > noise-10 {
@@ -266,50 +554,40 @@ func (m *Medium) deliver(tx *transmission, rx *Station) {
 	}
 }
 
-// interferenceAt power-sums every other transmission that overlapped tx at
-// receiver rx, in dBm. Returns -Inf when there is none.
-func (m *Medium) interferenceAt(rx *Station, tx *transmission) float64 {
+// interferenceAt power-sums the transmissions that overlapped the frame
+// being delivered (precomputed in m.overlaps by endTransmission) at
+// receiver rx, in dBm. Returns -Inf when there is none. Transmissions
+// whose horizon excluded rx contribute nothing: their power at rx is
+// provably below the certain-loss floor, i.e. at least ~15 dB under the
+// noise floor.
+func (m *Medium) interferenceAt(rx *Station) float64 {
 	total := math.Inf(-1)
-	consider := func(other *transmission) {
-		if other == tx || other.src == rx {
-			return
+	for _, other := range m.overlaps {
+		if other.src == rx {
+			continue
 		}
-		if !other.overlaps(tx.start, tx.end) {
-			return
-		}
-		if p, ok := other.rxPower[rx.id]; ok {
+		if p, ok := other.powerAt(rx); ok {
 			total = radio.CombineDBm(total, p)
 		}
-	}
-	for _, other := range m.active {
-		consider(other)
-	}
-	for _, other := range m.history {
-		consider(other)
 	}
 	return total
 }
 
-// stationTransmittedDuring reports whether s had a transmission of its own
-// overlapping [start, end].
-func (m *Medium) stationTransmittedDuring(s *Station, start, end time.Duration) bool {
-	for _, tx := range m.active {
-		if tx.src == s && tx.overlaps(start, end) {
-			return true
-		}
-	}
-	for _, tx := range m.history {
-		if tx.src == s && tx.overlaps(start, end) {
-			return true
-		}
-	}
-	return false
-}
+// historyRetention is how long ended transmissions stay queryable. It is
+// widened by the longest airtime seen so that any frame a history entry
+// could overlap is still covered.
+const historyRetention = 100 * time.Millisecond
 
 // pruneHistory drops ended transmissions that can no longer overlap
-// anything still on the air or future frames.
+// anything still on the air or future frames. It runs on every
+// transmission end — the only time history grows — so under sustained
+// traffic the history length is bounded by the retention window times the
+// transmission rate.
 func (m *Medium) pruneHistory(now time.Duration) {
-	const retention = 100 * time.Millisecond
+	retention := historyRetention
+	if m.maxAirtime > retention {
+		retention = m.maxAirtime
+	}
 	cutoff := now - retention
 	keep := m.history[:0]
 	for _, tx := range m.history {

@@ -22,7 +22,10 @@ import (
 // plus sparse protocol beacons) the difference is negligible; the property
 // that matters — ordered cooperators rarely collide — is preserved.
 type Station struct {
-	id      packet.NodeID
+	id packet.NodeID
+	// idx is the station's registration index; delivery iterates stations
+	// in this order whatever the medium's enumeration mode.
+	idx     int
 	medium  *Medium
 	pos     PositionFunc
 	handler Handler
@@ -37,6 +40,8 @@ type Station struct {
 	// waiting marks that the station has traffic but the medium was busy;
 	// it retries when the medium may have become idle.
 	waiting bool
+	// queuedWait marks membership in the medium's wake-up list.
+	queuedWait bool
 
 	// sent counts frames put on the air, for diagnostics.
 	sent uint64
@@ -93,6 +98,7 @@ func (s *Station) tryContend() {
 	}
 	if s.medium.busyFor(s) {
 		s.waiting = true
+		s.medium.enqueueWaiting(s)
 		return
 	}
 	s.waiting = false
@@ -114,6 +120,7 @@ func (s *Station) beginTx() {
 	// re-check before seizing it.
 	if s.medium.busyFor(s) {
 		s.waiting = true
+		s.medium.enqueueWaiting(s)
 		return
 	}
 	q := s.queue[0]
@@ -132,6 +139,7 @@ func (s *Station) onMediumBusy() {
 	}
 	if len(s.queue) > 0 && !s.transmitting {
 		s.waiting = true
+		s.medium.enqueueWaiting(s)
 	}
 }
 

@@ -28,6 +28,18 @@ type Config struct {
 	// FadingK selects small-scale fading: negative disables fading, 0 is
 	// Rayleigh, positive values are the Rician K-factor (linear).
 	FadingK float64
+	// ShadowClampSigma bounds every shadowing sample to ±k·ShadowSigmaDB
+	// (0 defaults to 6). The clamp is what makes the shadowing boost
+	// provably finite — the foundation of MaxRangeM's lossless culling
+	// guarantee — while being statistically unobservable: a 6σ excursion
+	// has probability ~2e-9 per sample.
+	ShadowClampSigma float64
+	// FadeClampDB bounds the per-frame small-scale fading gain from above,
+	// in dB (0 defaults to 13). Like the shadowing clamp it exists to
+	// bound the link budget, not to shape the distribution: a +13 dB
+	// Rayleigh up-fade has probability ~2e-9 per frame, and Rician tails
+	// are thinner still.
+	FadeClampDB float64
 	// ObstructionDB, when non-nil, returns extra attenuation in dB for a
 	// link between two positions — used to model buildings blocking
 	// non-line-of-sight street segments in the urban scenario.
@@ -62,7 +74,23 @@ type Channel struct {
 	cfg     Config
 	shadows *shadowField
 	fadeRNG *rand.Rand
+	// shadowClampDB and fadeClampDB are the resolved boost bounds (see
+	// Config.ShadowClampSigma / Config.FadeClampDB).
+	shadowClampDB float64
+	fadeClampDB   float64
+	// noiseLin caches the noise floor in linear milliwatts; DecideFrame
+	// runs once per candidate receiver of every frame.
+	noiseLin float64
+	// lossDB is the path-loss model with its constants precomputed
+	// (bit-identical to cfg.PathLoss.LossDB).
+	lossDB func(d float64) float64
 }
+
+// Default boost bounds; see the Config field docs for the rationale.
+const (
+	defaultShadowClampSigma = 6
+	defaultFadeClampDB      = 13
+)
 
 // NewChannel validates cfg and builds a channel.
 func NewChannel(cfg Config) (*Channel, error) {
@@ -72,10 +100,27 @@ func NewChannel(cfg Config) (*Channel, error) {
 	if cfg.ShadowSigmaDB < 0 {
 		return nil, fmt.Errorf("radio: negative shadowing sigma %v", cfg.ShadowSigmaDB)
 	}
+	if cfg.ShadowClampSigma < 0 || cfg.FadeClampDB < 0 {
+		return nil, fmt.Errorf("radio: negative clamp (shadow %vσ, fade %v dB)",
+			cfg.ShadowClampSigma, cfg.FadeClampDB)
+	}
+	clampSigma := cfg.ShadowClampSigma
+	if clampSigma == 0 {
+		clampSigma = defaultShadowClampSigma
+	}
+	fadeClamp := cfg.FadeClampDB
+	if fadeClamp == 0 {
+		fadeClamp = defaultFadeClampDB
+	}
+	shadowClamp := clampSigma * cfg.ShadowSigmaDB
 	return &Channel{
-		cfg:     cfg,
-		shadows: newShadowField(cfg.ShadowSigmaDB, cfg.ShadowTau, cfg.Seed),
-		fadeRNG: sim.Stream(cfg.Seed, "fading"),
+		cfg:           cfg,
+		shadows:       newShadowField(cfg.ShadowSigmaDB, cfg.ShadowTau, cfg.Seed, shadowClamp),
+		fadeRNG:       sim.Stream(cfg.Seed, "fading"),
+		shadowClampDB: shadowClamp,
+		fadeClampDB:   fadeClamp,
+		noiseLin:      math.Pow(10, cfg.NoiseFloorDBm/10),
+		lossDB:        fastLossFunc(cfg.PathLoss),
 	}, nil
 }
 
@@ -105,7 +150,7 @@ func (c *Channel) CaptureThresholdDB() float64 { return c.cfg.CaptureThresholdDB
 // the per-frame fading sample is applied separately in FramePER.
 func (c *Channel) MeanRxPowerDBm(a, b packet.NodeID, pa, pb geom.Point, now time.Duration) float64 {
 	d := pa.Dist(pb)
-	p := c.cfg.TxPowerDBm - c.cfg.PathLoss.LossDB(d) + c.shadows.sample(a, b, now)
+	p := c.cfg.TxPowerDBm - c.lossDB(d) + c.shadows.sample(a, b, now)
 	if c.cfg.ObstructionDB != nil {
 		p -= c.cfg.ObstructionDB(pa, pb)
 	}
@@ -113,13 +158,24 @@ func (c *Channel) MeanRxPowerDBm(a, b packet.NodeID, pa, pb geom.Point, now time
 }
 
 // FadingSampleDB draws an independent small-scale fading gain for one
-// frame, in dB. Returns 0 when fading is disabled.
+// frame, in dB, bounded above by the fade clamp. Returns 0 when fading is
+// disabled.
 func (c *Channel) FadingSampleDB() float64 {
 	if c.cfg.FadingK < 0 {
 		return 0
 	}
-	return fadingGainDB(c.fadeRNG, c.cfg.FadingK)
+	g := fadingGainDB(c.fadeRNG, c.cfg.FadingK)
+	if g > c.fadeClampDB {
+		g = c.fadeClampDB
+	}
+	return g
 }
+
+// ShadowClampDB returns the bound on any shadowing sample's magnitude.
+func (c *Channel) ShadowClampDB() float64 { return c.shadowClampDB }
+
+// FadeClampDB returns the bound on any per-frame fading gain.
+func (c *Channel) FadeClampDB() float64 { return c.fadeClampDB }
 
 // SINRdB combines a received frame power with noise plus an aggregate
 // interference power (both dBm; interferenceDBm may be math.Inf(-1) for
@@ -159,7 +215,12 @@ type FrameDecision struct {
 // deterministic coin.
 func (c *Channel) DecideFrame(meanRxDBm, interferenceDBm float64, mod Modulation, bytes int) FrameDecision {
 	rx := meanRxDBm + c.FadingSampleDB()
-	sinr := SINRdB(rx, c.cfg.NoiseFloorDBm, interferenceDBm)
+	// Same arithmetic as SINRdB with the noise term precomputed.
+	intLin := 0.0
+	if !math.IsInf(interferenceDBm, -1) {
+		intLin = math.Pow(10, interferenceDBm/10)
+	}
+	sinr := rx - 10*math.Log10(c.noiseLin+intLin)
 	per := mod.PER(sinr, bytes)
 	return FrameDecision{
 		RxPowerDBm: rx,
@@ -167,4 +228,79 @@ func (c *Channel) DecideFrame(meanRxDBm, interferenceDBm float64, mod Modulation
 		PER:        per,
 		Received:   c.fadeRNG.Float64() >= per,
 	}
+}
+
+// CertainLossFloorDBm returns the mean rx power (path loss + shadowing)
+// below which a frame of the given modulation and size can NEVER be
+// received, whatever the RNG does. The argument is exact, not statistical:
+// DecideFrame receives iff Float64() >= PER, Float64() never exceeds
+// 1 - 2^-53, the fading boost is bounded by the fade clamp, interference
+// only lowers the SINR, and below the returned floor the PER computes to
+// exactly 1.0 in float64. The radio medium uses it (together with
+// MaxRangeM) to cull deliveries losslessly.
+func (c *Channel) CertainLossFloorDBm(mod Modulation, bytes int) float64 {
+	fade := c.fadeClampDB
+	if c.cfg.FadingK < 0 {
+		fade = 0 // fading disabled: no up-fade to allow for
+	}
+	return c.cfg.NoiseFloorDBm + certainLossSNRdB(mod, bytes) - fade
+}
+
+// certainLossSNRdB returns an SINR at or below which mod.PER(snr, bytes)
+// evaluates to exactly 1.0 — i.e. loss is certain. Returns -Inf when no
+// such SINR exists (tiny frames whose PER never saturates: with BER capped
+// at 0.5, a frame under ~7 bytes always has a representable survival
+// probability).
+func certainLossSNRdB(mod Modulation, bytes int) float64 {
+	const lo, hi = -300.0, 60.0
+	if mod.PER(lo, bytes) < 1 {
+		return math.Inf(-1)
+	}
+	// PER is monotone non-increasing in SNR; bisect the saturation edge,
+	// then back off a quarter dB so that downstream floating-point
+	// round-trips (floor = noise + snr - clamp and back) can never cross
+	// it. Backing off only lowers the floor, i.e. widens the horizon —
+	// the conservative direction.
+	a, b := lo, hi
+	for i := 0; i < 80; i++ {
+		mid := a + (b-a)/2
+		if mod.PER(mid, bytes) >= 1 {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return a - 0.25
+}
+
+// MaxRangeM returns a distance beyond which the mean rx power — even with
+// the maximum possible shadowing boost — stays below floorDBm. Obstruction
+// losses only reduce power further, so ignoring them is conservative.
+// Returns +Inf when no finite distance guarantees it (the caller must then
+// consider every receiver) and 0 when even the reference distance is below
+// the floor.
+func (c *Channel) MaxRangeM(floorDBm float64) float64 {
+	if math.IsInf(floorDBm, -1) {
+		return math.Inf(1)
+	}
+	budget := c.cfg.TxPowerDBm + c.shadowClampDB - floorDBm
+	if c.lossDB(1) > budget {
+		return 0
+	}
+	const maxD = 1e8
+	if c.lossDB(maxD) <= budget {
+		return math.Inf(1)
+	}
+	// LossDB is monotone non-decreasing; bisect and return the upper
+	// bracket so the true threshold is never undercut.
+	lo, hi := 1.0, maxD
+	for i := 0; i < 200 && hi-lo > 1e-6; i++ {
+		mid := lo + (hi-lo)/2
+		if c.lossDB(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
 }

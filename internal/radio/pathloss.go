@@ -61,6 +61,58 @@ func (m LogDistance) LossDB(d float64) float64 {
 	return pl0 + 10*m.Exponent*math.Log10(d/d0)
 }
 
+// fastLossFunc returns a closure computing exactly LossDB's result with
+// the model's constants hoisted out of the per-call path. The channel
+// calls it once per candidate receiver of every frame, so the reference
+// losses and crossover points are worth precomputing. Unknown models fall
+// back to their LossDB method.
+func fastLossFunc(pl PathLoss) func(d float64) float64 {
+	switch m := pl.(type) {
+	case LogDistance:
+		d0 := m.RefDist
+		if d0 <= 0 {
+			d0 = 1
+		}
+		pl0 := FreeSpace{FreqHz: m.FreqHz}.LossDB(d0)
+		n10 := 10 * m.Exponent
+		return func(d float64) float64 {
+			if d < 1 {
+				d = 1
+			}
+			if d <= d0 {
+				return pl0
+			}
+			return pl0 + n10*math.Log10(d/d0)
+		}
+	case TwoRay:
+		dc := m.crossover()
+		fs := FreeSpace{FreqHz: m.FreqHz}
+		fsAtDc := fs.LossDB(dc)
+		// Same term order as FreeSpace.LossDB so the floats match
+		// bit-for-bit.
+		logF := 20 * math.Log10(m.FreqHz)
+		return func(d float64) float64 {
+			if d < 1 {
+				d = 1
+			}
+			if d <= dc {
+				return 20*math.Log10(d) + logF - 147.55
+			}
+			return fsAtDc + 40*math.Log10(d/dc)
+		}
+	case FreeSpace:
+		logF := 20 * math.Log10(m.FreqHz)
+		return func(d float64) float64 {
+			if d < 1 {
+				d = 1
+			}
+			return 20*math.Log10(d) + logF - 147.55
+		}
+	default:
+		return pl.LossDB
+	}
+}
+
 // TwoRay is the two-ray ground-reflection model: free-space below the
 // crossover distance, 4th-power decay beyond it. Suited to open highway
 // scenarios with low antennas.

@@ -83,7 +83,7 @@ func TestPathLossMonotoneProperty(t *testing.T) {
 
 func TestShadowProcessStatistics(t *testing.T) {
 	rng := sim.Stream(1, "test-shadow")
-	p := newShadowProcess(6, time.Second, rng)
+	p := newShadowProcess(6, time.Second, rng, 36)
 	var sum, sumSq float64
 	n := 20000
 	// Sample far apart so draws are nearly independent.
@@ -104,7 +104,7 @@ func TestShadowProcessStatistics(t *testing.T) {
 
 func TestShadowProcessCorrelation(t *testing.T) {
 	rng := sim.Stream(2, "test-shadow")
-	p := newShadowProcess(6, 10*time.Second, rng)
+	p := newShadowProcess(6, 10*time.Second, rng, 36)
 	v0 := p.sample(0)
 	v1 := p.sample(time.Millisecond) // dt << tau: nearly identical
 	if math.Abs(v1-v0) > 0.5 {
@@ -117,7 +117,7 @@ func TestShadowProcessCorrelation(t *testing.T) {
 }
 
 func TestShadowProcessZeroSigma(t *testing.T) {
-	p := newShadowProcess(0, time.Second, sim.Stream(1, "x"))
+	p := newShadowProcess(0, time.Second, sim.Stream(1, "x"), 0)
 	for i := 0; i < 10; i++ {
 		if v := p.sample(time.Duration(i) * time.Second); v != 0 {
 			t.Fatalf("zero-sigma sample = %v", v)
@@ -126,7 +126,7 @@ func TestShadowProcessZeroSigma(t *testing.T) {
 }
 
 func TestShadowProcessZeroTauIID(t *testing.T) {
-	p := newShadowProcess(6, 0, sim.Stream(3, "x"))
+	p := newShadowProcess(6, 0, sim.Stream(3, "x"), 36)
 	a := p.sample(time.Second)
 	b := p.sample(2 * time.Second)
 	if a == b {
@@ -135,7 +135,7 @@ func TestShadowProcessZeroTauIID(t *testing.T) {
 }
 
 func TestShadowFieldReciprocity(t *testing.T) {
-	f := newShadowField(6, time.Second, 42)
+	f := newShadowField(6, time.Second, 42, 36)
 	ab := f.sample(1, 2, time.Second)
 	ba := f.sample(2, 1, time.Second)
 	if ab != ba {
@@ -149,8 +149,8 @@ func TestShadowFieldReciprocity(t *testing.T) {
 }
 
 func TestShadowFieldDeterministicAcrossCreationOrder(t *testing.T) {
-	f1 := newShadowField(6, time.Second, 7)
-	f2 := newShadowField(6, time.Second, 7)
+	f1 := newShadowField(6, time.Second, 7, 36)
+	f2 := newShadowField(6, time.Second, 7, 36)
 	// Touch links in different orders; per-link streams must not shift.
 	a1 := f1.sample(1, 2, time.Second)
 	_ = f1.sample(3, 4, 2*time.Second)

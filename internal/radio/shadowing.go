@@ -31,6 +31,10 @@ func makeLinkKey(a, b packet.NodeID) linkKey {
 type shadowProcess struct {
 	sigmaDB float64
 	tau     time.Duration
+	// clampDB bounds the emitted sample's magnitude (the AR(1) state
+	// itself evolves unclamped so the dynamics are unchanged); it is what
+	// makes the maximum shadowing boost finite for Channel.MaxRangeM.
+	clampDB float64
 	rng     *rand.Rand
 
 	last   time.Duration
@@ -38,8 +42,8 @@ type shadowProcess struct {
 	primed bool
 }
 
-func newShadowProcess(sigmaDB float64, tau time.Duration, rng *rand.Rand) *shadowProcess {
-	return &shadowProcess{sigmaDB: sigmaDB, tau: tau, rng: rng}
+func newShadowProcess(sigmaDB float64, tau time.Duration, rng *rand.Rand, clampDB float64) *shadowProcess {
+	return &shadowProcess{sigmaDB: sigmaDB, tau: tau, rng: rng, clampDB: clampDB}
 }
 
 // sample returns the shadowing value in dB at virtual time now, evolving
@@ -50,25 +54,30 @@ func (p *shadowProcess) sample(now time.Duration) float64 {
 	if p.sigmaDB == 0 {
 		return 0
 	}
-	if !p.primed {
+	switch {
+	case !p.primed:
 		p.valDB = p.rng.NormFloat64() * p.sigmaDB
 		p.last = now
 		p.primed = true
-		return p.valDB
-	}
-	dt := now - p.last
-	if dt <= 0 {
-		return p.valDB
-	}
-	p.last = now
-	if p.tau <= 0 {
+	case now <= p.last:
+		// Same instant (or earlier): hold the value.
+	case p.tau <= 0:
 		// No correlation: i.i.d. per sample.
+		p.last = now
 		p.valDB = p.rng.NormFloat64() * p.sigmaDB
-		return p.valDB
+	default:
+		dt := now - p.last
+		p.last = now
+		rho := math.Exp(-float64(dt) / float64(p.tau))
+		p.valDB = rho*p.valDB + math.Sqrt(1-rho*rho)*p.sigmaDB*p.rng.NormFloat64()
 	}
-	rho := math.Exp(-float64(dt) / float64(p.tau))
-	p.valDB = rho*p.valDB + math.Sqrt(1-rho*rho)*p.sigmaDB*p.rng.NormFloat64()
-	return p.valDB
+	v := p.valDB
+	if v > p.clampDB {
+		v = p.clampDB
+	} else if v < -p.clampDB {
+		v = -p.clampDB
+	}
+	return v
 }
 
 // shadowField manages per-link shadowing processes, lazily created with
@@ -78,14 +87,16 @@ type shadowField struct {
 	sigmaDB float64
 	tau     time.Duration
 	seed    int64
+	clampDB float64
 	links   map[linkKey]*shadowProcess
 }
 
-func newShadowField(sigmaDB float64, tau time.Duration, seed int64) *shadowField {
+func newShadowField(sigmaDB float64, tau time.Duration, seed int64, clampDB float64) *shadowField {
 	return &shadowField{
 		sigmaDB: sigmaDB,
 		tau:     tau,
 		seed:    seed,
+		clampDB: clampDB,
 		links:   make(map[linkKey]*shadowProcess),
 	}
 }
@@ -98,7 +109,7 @@ func (f *shadowField) sample(a, b packet.NodeID, now time.Duration) float64 {
 	p, ok := f.links[key]
 	if !ok {
 		name := "shadow-" + key.lo.String() + "-" + key.hi.String()
-		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, name))
+		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, name), f.clampDB)
 		f.links[key] = p
 	}
 	return p.sample(now)

@@ -36,6 +36,9 @@ type CorridorConfig struct {
 	APSetbackM float64
 	// TuneCarq optionally mutates each car's protocol config.
 	TuneCarq func(*carq.Config)
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultCorridor returns a two-Infostation corridor at urban speed.
@@ -199,6 +202,7 @@ func runCorridorRound(cfg CorridorConfig, round int, carIDs []packet.NodeID, roa
 		APs:      aps,
 		Cars:     cars,
 		Duration: duration,
+		Medium:   cfg.Medium,
 	})
 	if err != nil {
 		return nil, err

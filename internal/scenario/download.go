@@ -32,6 +32,9 @@ type DownloadConfig struct {
 	FileBlocks uint32
 	// MaxLaps bounds the simulation.
 	MaxLaps int
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultDownload returns a 220-block download on the testbed loop.
@@ -131,6 +134,7 @@ func RunDownload(cfg DownloadConfig) (*DownloadResult, error) {
 		}},
 		Cars:     cars,
 		Duration: duration,
+		Medium:   cfg.Medium,
 		Hook: func(engine *sim.Engine, nodes map[packet.NodeID]Node) {
 			// Poll completion once per simulated second.
 			var probe func()

@@ -1,0 +1,196 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/trace"
+)
+
+// traceBytes serialises a round's full event record through the JSONL
+// wire format — the strictest practical definition of "the same trace".
+func mediumTraceBytes(t *testing.T, col *trace.Collector) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := col.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func assertSameTrace(t *testing.T, name string, indexed, exhaustive *trace.Collector) {
+	t.Helper()
+	ib, eb := mediumTraceBytes(t, indexed), mediumTraceBytes(t, exhaustive)
+	if len(ib) == 0 {
+		t.Fatalf("%s: empty trace", name)
+	}
+	if !bytes.Equal(ib, eb) {
+		// Find the first differing line for a useful failure message.
+		il := bytes.Split(ib, []byte("\n"))
+		el := bytes.Split(eb, []byte("\n"))
+		n := len(il)
+		if len(el) < n {
+			n = len(el)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(il[i], el[i]) {
+				t.Fatalf("%s: traces differ at line %d:\nindexed:    %s\nexhaustive: %s", name, i, il[i], el[i])
+			}
+		}
+		t.Fatalf("%s: traces differ in length: %d vs %d lines", name, len(il), len(el))
+	}
+}
+
+var (
+	exhaustiveMedium = mac.MediumConfig{Exhaustive: true}
+	// indexedMedium forces the spatial index even below the small-
+	// population fallback threshold, so every family genuinely runs the
+	// indexed enumeration rather than two identical scans.
+	indexedMedium = mac.MediumConfig{MinIndexStations: -1}
+)
+
+// TestScenarioEquivalenceAcrossMediumModes asserts the refactor's core
+// contract on every scenario family behind the study catalogue
+// (A1..A17): the spatially-indexed medium produces byte-identical traces
+// to the exhaustive fallback. Small configurations keep it affordable;
+// the per-family channel/geometry paths are exactly those the full
+// studies run.
+func TestScenarioEquivalenceAcrossMediumModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+
+	t.Run("testbed", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTestbed()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := TestbedRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "testbed", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("highway", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultHighway()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := HighwayRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "highway", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("corridor", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCorridor()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := CorridorRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "corridor", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("twoway", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTwoWay()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := TwoWayRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "twoway", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("download", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultDownload()
+			cfg.FileBlocks = 40
+			cfg.MaxLaps = 2
+			cfg.Medium = m
+			res, err := RunDownload(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Trace
+		}
+		assertSameTrace(t, "download", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("trafficgrid", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTrafficGrid()
+			cfg.Rounds = 1
+			cfg.Duration = 60 * time.Second
+			cfg.Medium = m
+			col, _, err := TrafficGridRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "trafficgrid", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	t.Run("stopgo", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultStopGo()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := StopGoRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "stopgo", run(indexedMedium), run(exhaustiveMedium))
+	})
+
+	// cityscale is the family whose geometry actually exercises culling
+	// (station spread far beyond the reception horizon): the medium-level
+	// property tests cover randomized topologies, this covers the full
+	// protocol stack on top.
+	t.Run("cityscale", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCityScale()
+			cfg.GridRows, cfg.GridCols = 8, 8
+			cfg.Background = 80
+			cfg.Cars = 6
+			cfg.Duration = 30 * time.Second
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := CityScaleRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		indexed := run(indexedMedium)
+		assertSameTrace(t, "cityscale", indexed, run(exhaustiveMedium))
+		// Sanity: the topology must actually cull — with 90 stations
+		// spread over ~1.4 km and a ~300 m horizon, every frame reaching
+		// every station would be a regression in the horizon logic.
+		c := indexed.Counts()
+		stations := 80 + 6 + 4
+		if c.Rx+c.Drops >= c.Tx*(stations-1) {
+			t.Fatalf("no culling: %d delivery events for %d transmissions among %d stations",
+				c.Rx+c.Drops, c.Tx, stations)
+		}
+	})
+}

@@ -39,6 +39,9 @@ type HighwayConfig struct {
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultHighway returns a 90 km/h three-car drive-thru.
@@ -180,6 +183,7 @@ func runHighwayRound(cfg HighwayConfig, round int, carIDs []packet.NodeID) (*tra
 		}},
 		Cars:     cars,
 		Duration: duration,
+		Medium:   cfg.Medium,
 	})
 	if err != nil {
 		return nil, err

@@ -80,6 +80,11 @@ type Setup struct {
 	APs      []APSpec
 	Cars     []CarSpec
 	Duration time.Duration
+	// Medium selects the radio medium's delivery path (spatial index vs
+	// exhaustive scan). The zero value — the indexed default — and the
+	// exhaustive fallback produce byte-identical traces; the flag exists
+	// for the equivalence tests and for benchmarking the two paths.
+	Medium mac.MediumConfig
 	// PreRun, if non-nil, runs immediately after the engine is created,
 	// before any AP or protocol node schedules its first event. Traffic
 	// scenarios use it to attach a live-stepped traffic simulation: the
@@ -127,7 +132,7 @@ func Run(s Setup) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario: channel: %w", err)
 	}
-	medium := mac.NewMedium(engine, channel, col)
+	medium := mac.NewMediumWith(engine, channel, col, s.Medium)
 
 	for i, spec := range s.APs {
 		apStation, err := medium.AddStation(spec.Config.ID, staticPos(spec.Position), nil, s.MAC)

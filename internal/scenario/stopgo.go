@@ -45,6 +45,9 @@ type StopGoConfig struct {
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultStopGo returns a 72-vehicle, 1.8 km ring (25 m spacings — dense
@@ -239,6 +242,7 @@ func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collecto
 		Cars:     cars,
 		Duration: cfg.Duration,
 		PreRun:   preRun,
+		Medium:   cfg.Medium,
 	})
 	if err != nil {
 		return nil, nil, err

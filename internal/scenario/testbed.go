@@ -68,6 +68,9 @@ type TestbedConfig struct {
 	// Factory overrides the protocol run by every car (nil: C-ARQ with
 	// the settings above). Used by the epidemic baseline.
 	Factory NodeFactory
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 	// Parallel runs rounds concurrently on up to GOMAXPROCS workers.
 	// Rounds are fully independent simulations with per-round RNG
 	// streams, so results are bit-identical to a serial run.
@@ -380,6 +383,7 @@ func runTestbedRound(cfg TestbedConfig, round int, carIDs []packet.NodeID) (*tra
 		}},
 		Cars:     cars,
 		Duration: duration,
+		Medium:   cfg.Medium,
 	})
 	if err != nil {
 		return nil, 0, err

@@ -46,6 +46,9 @@ type TrafficGridConfig struct {
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultTrafficGrid returns a 3x3-intersection grid with a 4-car
@@ -297,6 +300,7 @@ func TrafficGridRound(cfg TrafficGridConfig, round int) (*trace.Collector, *trac
 		Cars:     cars,
 		Duration: cfg.Duration,
 		PreRun:   preRun,
+		Medium:   cfg.Medium,
 	})
 	if err != nil {
 		return nil, nil, err

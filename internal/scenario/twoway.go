@@ -64,6 +64,9 @@ type TwoWayConfig struct {
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
 }
 
 // DefaultTwoWay returns a 90 km/h three-car platoon with four relay cars.
@@ -302,5 +305,6 @@ func twoWaySetup(cfg TwoWayConfig, round int, carIDs []packet.NodeID) (Setup, er
 		}},
 		Cars:     cars,
 		Duration: duration,
+		Medium:   cfg.Medium,
 	}, nil
 }

@@ -1,0 +1,149 @@
+// Package spatial provides the uniform spatial hash shared by the
+// simulator's hot paths: the traffic subsystem's neighbor queries and the
+// radio medium's delivery culling. It is generic over the entry ID so each
+// consumer indexes its own identifier type (vehicle indices, station
+// NodeIDs) without conversions.
+//
+// The grid is the cheap O(1)-per-query structure for "who is near this
+// point" at any population size. Consumers rebuild it wholesale (Reset or
+// Reindex + Insert are allocation-free after warm-up) whenever their
+// positions move. Iteration order is deterministic: cells scan row-major,
+// entries in insertion order.
+package spatial
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Entry is one indexed point.
+type Entry[ID any] struct {
+	ID ID
+	P  geom.Point
+}
+
+// Grid is a uniform spatial hash over a bounding geom.Rect.
+type Grid[ID any] struct {
+	bounds     geom.Rect
+	cellM      float64
+	cols, rows int
+	cells      [][]Entry[ID]
+	count      int
+}
+
+// NewGrid builds an empty index over bounds with the given cell size.
+func NewGrid[ID any](bounds geom.Rect, cellM float64) (*Grid[ID], error) {
+	g := &Grid[ID]{}
+	if err := g.Reindex(bounds, cellM); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Reindex empties the grid and re-bounds it, reusing cell storage when the
+// new geometry needs no more cells than the old. Dynamic consumers (the
+// radio medium, whose stations roam an a-priori unknown area) call it on
+// every rebuild.
+func (g *Grid[ID]) Reindex(bounds geom.Rect, cellM float64) error {
+	if cellM <= 0 {
+		return fmt.Errorf("spatial: grid cell %v", cellM)
+	}
+	w, h := bounds.MaxX-bounds.MinX, bounds.MaxY-bounds.MinY
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("spatial: empty grid bounds %+v", bounds)
+	}
+	cols := int(math.Ceil(w/cellM)) + 1
+	rows := int(math.Ceil(h/cellM)) + 1
+	need := cols * rows
+	if need <= cap(g.cells) {
+		g.cells = g.cells[:need]
+		for i := range g.cells {
+			g.cells[i] = g.cells[i][:0]
+		}
+	} else {
+		g.cells = make([][]Entry[ID], need)
+	}
+	g.bounds, g.cellM, g.cols, g.rows, g.count = bounds, cellM, cols, rows, 0
+	return nil
+}
+
+// Len returns the number of indexed points.
+func (g *Grid[ID]) Len() int { return g.count }
+
+// Bounds returns the indexed area.
+func (g *Grid[ID]) Bounds() geom.Rect { return g.bounds }
+
+// Reset empties the index, keeping bounds and cell capacity for reuse.
+func (g *Grid[ID]) Reset() {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.count = 0
+}
+
+// cellAt clamps p into the grid and returns its cell index.
+func (g *Grid[ID]) cellAt(p geom.Point) int {
+	cx := int((p.X - g.bounds.MinX) / g.cellM)
+	cy := int((p.Y - g.bounds.MinY) / g.cellM)
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+// Insert adds one point. Points outside the bounds clamp into the edge
+// cells, so queries near the boundary still find them (the stored position
+// stays exact; only the owning cell is clamped).
+func (g *Grid[ID]) Insert(id ID, p geom.Point) {
+	i := g.cellAt(p)
+	g.cells[i] = append(g.cells[i], Entry[ID]{ID: id, P: p})
+	g.count++
+}
+
+// Near visits every indexed point within radiusM of p, in deterministic
+// cell-scan order. The visitor returns false to stop early. An infinite
+// radius visits everything.
+func (g *Grid[ID]) Near(p geom.Point, radiusM float64, visit func(Entry[ID]) bool) {
+	if radiusM < 0 {
+		return
+	}
+	minCX, maxCX, minCY, maxCY := 0, g.cols-1, 0, g.rows-1
+	r2 := math.Inf(1)
+	if !math.IsInf(radiusM, 1) {
+		minCX = clampInt(int((p.X-radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+		maxCX = clampInt(int((p.X+radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+		minCY = clampInt(int((p.Y-radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+		maxCY = clampInt(int((p.Y+radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+		r2 = radiusM * radiusM
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		for cx := minCX; cx <= maxCX; cx++ {
+			for _, e := range g.cells[cy*g.cols+cx] {
+				dx, dy := e.P.X-p.X, e.P.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					if !visit(e) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// CountWithin returns how many indexed points lie within radiusM of p.
+func (g *Grid[ID]) CountWithin(p geom.Point, radiusM float64) int {
+	n := 0
+	g.Near(p, radiusM, func(Entry[ID]) bool { n++; return true })
+	return n
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,14 +1,15 @@
-package traffic
+package spatial
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/geom"
 )
 
-func testGrid(t *testing.T) *Grid {
+func testGrid(t *testing.T) *Grid[int] {
 	t.Helper()
-	g, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 10)
+	g, err := NewGrid[int](geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestGridNearFindsNeighbors(t *testing.T) {
 	g.Insert(3, geom.Point{X: 50, Y: 80}) // far away
 	g.Insert(4, geom.Point{X: 45, Y: 47})
 	var got []int
-	g.Near(geom.Point{X: 50, Y: 50}, 8, func(e GridEntry) bool {
+	g.Near(geom.Point{X: 50, Y: 50}, 8, func(e Entry[int]) bool {
 		got = append(got, e.ID)
 		return true
 	})
@@ -52,6 +53,16 @@ func TestGridRadiusBoundary(t *testing.T) {
 	}
 	if n := g.CountWithin(geom.Point{X: 58.01, Y: 50}, 8); n != 0 {
 		t.Fatalf("outside-radius point found: %d", n)
+	}
+}
+
+func TestGridInfiniteRadiusVisitsAll(t *testing.T) {
+	g := testGrid(t)
+	for i := 0; i < 12; i++ {
+		g.Insert(i, geom.Point{X: float64(i * 9), Y: float64(i * 7)})
+	}
+	if n := g.CountWithin(geom.Point{X: 3, Y: 3}, math.Inf(1)); n != 12 {
+		t.Fatalf("CountWithin(inf) = %d, want 12", n)
 	}
 }
 
@@ -85,13 +96,40 @@ func TestGridResetReuses(t *testing.T) {
 	}
 }
 
+func TestGridReindexMovesBounds(t *testing.T) {
+	g := testGrid(t)
+	for i := 0; i < 30; i++ {
+		g.Insert(i, geom.Point{X: float64(i * 3), Y: 50})
+	}
+	// Re-bound onto a translated, smaller area: old entries are gone, new
+	// ones indexed against the new frame.
+	if err := g.Reindex(geom.Rect{MinX: 1000, MinY: 1000, MaxX: 1050, MaxY: 1050}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Fatalf("Len after reindex = %d", g.Len())
+	}
+	g.Insert(1, geom.Point{X: 1025, Y: 1025})
+	if n := g.CountWithin(geom.Point{X: 1025, Y: 1025}, 3); n != 1 {
+		t.Fatalf("entry not found after reindex: %d", n)
+	}
+	// Growing the bounds past the cached capacity must also work.
+	if err := g.Reindex(geom.Rect{MinX: 0, MinY: 0, MaxX: 5000, MaxY: 5000}, 10); err != nil {
+		t.Fatal(err)
+	}
+	g.Insert(2, geom.Point{X: 4999, Y: 4999})
+	if n := g.CountWithin(geom.Point{X: 4999, Y: 4999}, 2); n != 1 {
+		t.Fatalf("entry not found after growing reindex: %d", n)
+	}
+}
+
 func TestGridEarlyStop(t *testing.T) {
 	g := testGrid(t)
 	for i := 0; i < 10; i++ {
 		g.Insert(i, geom.Point{X: 50, Y: 50})
 	}
 	visits := 0
-	g.Near(geom.Point{X: 50, Y: 50}, 5, func(GridEntry) bool {
+	g.Near(geom.Point{X: 50, Y: 50}, 5, func(Entry[int]) bool {
 		visits++
 		return visits < 3
 	})
@@ -101,10 +139,14 @@ func TestGridEarlyStop(t *testing.T) {
 }
 
 func TestGridRejectsBadConfig(t *testing.T) {
-	if _, err := NewGrid(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0); err == nil {
+	if _, err := NewGrid[int](geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 0); err == nil {
 		t.Fatal("zero cell accepted")
 	}
-	if _, err := NewGrid(geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 10}, 1); err == nil {
+	if _, err := NewGrid[int](geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 10}, 1); err == nil {
 		t.Fatal("empty bounds accepted")
+	}
+	g := testGrid(t)
+	if err := g.Reindex(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, -1); err == nil {
+		t.Fatal("negative cell accepted on reindex")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mobility"
 	"repro/internal/sim"
+	"repro/internal/spatial"
 	"repro/internal/trace"
 )
 
@@ -130,7 +131,7 @@ type Simulation struct {
 	// arc. The ordering is the O(1) leader/gap structure: a vehicle's
 	// leader is simply the next slice element.
 	lanes [][][]*vehicle
-	grid  *Grid
+	grid  *spatial.Grid[int]
 	// gridTick remembers which tick the spatial index was built for, so
 	// Index rebuilds lazily.
 	gridTick int
@@ -161,7 +162,7 @@ func New(cfg Config, specs []VehicleSpec) (*Simulation, error) {
 		s.lanes[i] = make([][]*vehicle, l.Lanes)
 	}
 	var err error
-	s.grid, err = NewGrid(s.net.Bounds(), cfg.NeighborCellM)
+	s.grid, err = spatial.NewGrid[int](s.net.Bounds(), cfg.NeighborCellM)
 	if err != nil {
 		return nil, err
 	}
@@ -636,7 +637,7 @@ func (s *Simulation) StoppedCount(thresholdMPS float64) int {
 
 // Index returns the spatial neighbor index rebuilt for the current tick.
 // The returned grid is valid until the next Step.
-func (s *Simulation) Index() *Grid {
+func (s *Simulation) Index() *spatial.Grid[int] {
 	if s.gridTick != s.tick {
 		s.grid.Reset()
 		for _, veh := range s.vehs {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; wall-clock-sensitive assertions skip themselves under it.
+const raceEnabled = false
