@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 # The traffic-subsystem benchmarks alone, shrunk by -short: the CI smoke
 # for the closed-loop vehicle dynamics.
@@ -30,17 +30,19 @@ bench-traffic:
 # Machine-readable benchmark snapshot; the committed BENCH_<n>.json files
 # track the perf trajectory PR over PR. Two steps (not a pipe) so a
 # failed bench run cannot silently produce a truncated snapshot.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 bench-json:
-	$(GO) test -run=NONE -bench=. -benchtime=1x ./... > bench.out.tmp
+	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.out.tmp
 	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_OUT)
 	rm bench.out.tmp
 
-# Diff the two newest committed snapshots: fails on any shared benchmark
-# regressing its ns/op by more than 2x. Deterministic (committed files
+# Diff the two newest committed BENCH_<n>.json snapshots (benchjson
+# auto-selects them by numeric suffix, so this gate cannot go stale as
+# snapshots accumulate): fails on any shared benchmark regressing its
+# ns/op or allocs/op by more than 2x. Deterministic (committed files
 # only), so CI can gate on it without re-running benchmarks.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
+	$(GO) run ./cmd/benchjson -compare
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -5,10 +5,16 @@
 //	go test -run=NONE -bench=. -benchtime=1x . | go run ./cmd/benchjson
 //
 // With -compare it instead diffs two committed snapshots and fails (exit
-// 1) when any benchmark present in both regressed its ns/op by more than
-// -factor:
+// 1) when any benchmark present in both regressed its ns/op or allocs/op
+// by more than -factor:
 //
 //	go run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
+//
+// With no operands, -compare auto-selects the two newest BENCH_<n>.json
+// files in the current directory (by numeric suffix), so the CI gate
+// tracks the latest committed pair without per-PR Makefile edits:
+//
+//	go run ./cmd/benchjson -compare
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -106,11 +113,19 @@ func parseBenchLine(line string) (Result, bool) {
 	return res, true
 }
 
-// Regression is one benchmark whose ns/op worsened past the factor.
+// gatedMetrics are the per-benchmark metrics the -compare gate watches,
+// each under the same >factor growth rule: wall time and allocation
+// count. B/op is deliberately not gated — byte volume scales with pooled
+// buffer capacities and is too noisy across workload tweaks, while the
+// allocation COUNT is the hot-path discipline the perf work defends.
+var gatedMetrics = []string{"ns/op", "allocs/op"}
+
+// Regression is one benchmark metric that worsened past the factor.
 type Regression struct {
 	Name   string
-	OldNs  float64
-	NewNs  float64
+	Metric string
+	Old    float64
+	New    float64
 	Factor float64
 }
 
@@ -123,34 +138,50 @@ func benchKey(r Result) string {
 	return r.Pkg + "." + r.Name
 }
 
-// Compare diffs the shared benchmarks of two reports and returns the ones
-// whose ns/op grew by more than factor. Benchmarks present in only one
-// snapshot (added or retired) are ignored: the gate is about regressions,
+// Compare diffs the shared benchmarks of two reports and returns every
+// gated metric (ns/op, allocs/op) that grew by more than factor.
+// Benchmarks — or metrics — present in only one snapshot (added, retired,
+// or a run without -benchmem) are ignored: the gate is about regressions,
 // not catalogue churn.
 func Compare(old, new *Report, factor float64) []Regression {
-	oldNs := make(map[string]float64)
+	type metricKey struct {
+		bench, metric string
+	}
+	oldVals := make(map[metricKey]float64)
 	for _, b := range old.Benchmarks {
-		if ns, ok := b.Metrics["ns/op"]; ok && ns > 0 {
-			oldNs[benchKey(b)] = ns
+		for _, m := range gatedMetrics {
+			if v, ok := b.Metrics[m]; ok && v > 0 {
+				oldVals[metricKey{benchKey(b), m}] = v
+			}
 		}
 	}
 	var regs []Regression
 	for _, b := range new.Benchmarks {
-		ns, ok := b.Metrics["ns/op"]
-		if !ok || ns <= 0 {
-			continue
-		}
-		prev, shared := oldNs[benchKey(b)]
-		if !shared {
-			continue
-		}
-		if ns > prev*factor {
-			regs = append(regs, Regression{
-				Name: benchKey(b), OldNs: prev, NewNs: ns, Factor: ns / prev,
-			})
+		for _, m := range gatedMetrics {
+			v, ok := b.Metrics[m]
+			if !ok || v <= 0 {
+				continue
+			}
+			prev, shared := oldVals[metricKey{benchKey(b), m}]
+			if !shared {
+				continue
+			}
+			if v > prev*factor {
+				regs = append(regs, Regression{
+					Name: benchKey(b), Metric: m, Old: prev, New: v, Factor: v / prev,
+				})
+			}
 		}
 	}
-	sort.Slice(regs, func(i, j int) bool { return regs[i].Factor > regs[j].Factor })
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Factor != regs[j].Factor {
+			return regs[i].Factor > regs[j].Factor
+		}
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
 	return regs
 }
 
@@ -186,16 +217,52 @@ func runCompare(oldPath, newPath string, factor float64) error {
 			shared++
 		}
 	}
-	fmt.Printf("benchjson: %d shared benchmarks (%s -> %s), regression factor %.1fx\n",
-		shared, oldPath, newPath, factor)
+	fmt.Printf("benchjson: %d shared benchmarks (%s -> %s), regression factor %.1fx on %v\n",
+		shared, oldPath, newPath, factor, gatedMetrics)
 	if len(regs) == 0 {
 		fmt.Println("benchjson: no regressions")
 		return nil
 	}
 	for _, r := range regs {
-		fmt.Printf("  REGRESSION %-60s %12.0f -> %12.0f ns/op (%.2fx)\n", r.Name, r.OldNs, r.NewNs, r.Factor)
+		fmt.Printf("  REGRESSION %-60s %12.0f -> %12.0f %s (%.2fx)\n", r.Name, r.Old, r.New, r.Metric, r.Factor)
 	}
-	return fmt.Errorf("%d benchmark(s) regressed more than %.1fx", len(regs), factor)
+	return fmt.Errorf("%d benchmark metric(s) regressed more than %.1fx", len(regs), factor)
+}
+
+// newestSnapshots picks the two newest committed BENCH_<n>.json files by
+// their numeric suffix, so the Makefile's bench-compare gate always diffs
+// the latest pair without anyone editing the target each PR.
+func newestSnapshots(names []string) (oldPath, newPath string, err error) {
+	type snap struct {
+		n    int
+		name string
+	}
+	var snaps []snap
+	for _, name := range names {
+		base := filepath.Base(name)
+		if !strings.HasPrefix(base, "BENCH_") || !strings.HasSuffix(base, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(base, "BENCH_"), ".json"))
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{n: n, name: name})
+	}
+	if len(snaps) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json snapshots, found %d", len(snaps))
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	return snaps[len(snaps)-2].name, snaps[len(snaps)-1].name, nil
+}
+
+// autoSnapshots globs the current directory for snapshots.
+func autoSnapshots() (string, string, error) {
+	names, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", "", err
+	}
+	return newestSnapshots(names)
 }
 
 func main() {
@@ -206,11 +273,24 @@ func main() {
 	flag.Parse()
 
 	if *compare {
-		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files")
+		var oldPath, newPath string
+		switch flag.NArg() {
+		case 0:
+			// No operands: gate the two newest committed snapshots, so
+			// the comparison can never silently go stale as BENCH_<n>
+			// files accumulate PR over PR.
+			var err error
+			if oldPath, newPath, err = autoSnapshots(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+				os.Exit(2)
+			}
+		case 2:
+			oldPath, newPath = flag.Arg(0), flag.Arg(1)
+		default:
+			fmt.Fprintln(os.Stderr, "benchjson: -compare takes two snapshot files, or none to auto-select the two newest BENCH_<n>.json")
 			os.Exit(2)
 		}
-		if err := runCompare(flag.Arg(0), flag.Arg(1), *factor); err != nil {
+		if err := runCompare(oldPath, newPath, *factor); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}

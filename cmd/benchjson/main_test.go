@@ -86,7 +86,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"BenchmarkNew": 9e9,  // not shared: ignored
 	})
 	regs := Compare(old, now, 2)
-	if len(regs) != 1 || regs[0].Name != "repro.BenchmarkB" {
+	if len(regs) != 1 || regs[0].Name != "repro.BenchmarkB" || regs[0].Metric != "ns/op" {
 		t.Fatalf("regressions = %+v", regs)
 	}
 	if regs[0].Factor < 2.49 || regs[0].Factor > 2.51 {
@@ -134,5 +134,83 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	}
 	if err := runCompare(oldPath, filepath.Join(dir, "missing.json"), 2); err == nil {
 		t.Fatal("missing file not reported")
+	}
+}
+
+func mkReportMetrics(benches map[string]map[string]float64) *Report {
+	rep := &Report{Schema: "bench/1"}
+	for name, m := range benches {
+		metrics := make(map[string]float64, len(m))
+		for k, v := range m {
+			metrics[k] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Result{
+			Pkg: "repro", Name: name, Iterations: 1, Metrics: metrics,
+		})
+	}
+	return rep
+}
+
+// TestCompareFlagsAllocRegressions pins the allocs/op gate: allocation
+// growth past the factor fails even when ns/op is flat, metrics absent
+// from either snapshot are not compared, and B/op is never gated.
+func TestCompareFlagsAllocRegressions(t *testing.T) {
+	old := mkReportMetrics(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 100, "allocs/op": 1000, "B/op": 10},
+		"BenchmarkB": {"ns/op": 100, "allocs/op": 1000},
+		"BenchmarkC": {"ns/op": 100}, // no allocs recorded in the old snapshot
+	})
+	now := mkReportMetrics(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 110, "allocs/op": 2500, "B/op": 1e9}, // allocs 2.5x, B/op ignored
+		"BenchmarkB": {"ns/op": 110, "allocs/op": 1500},              // 1.5x: under the factor
+		"BenchmarkC": {"ns/op": 110, "allocs/op": 9e9},               // not shared: ignored
+	})
+	regs := Compare(old, now, 2)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	r := regs[0]
+	if r.Name != "repro.BenchmarkA" || r.Metric != "allocs/op" || r.Old != 1000 || r.New != 2500 {
+		t.Fatalf("regression = %+v", r)
+	}
+	if got := Compare(old, now, 3); len(got) != 0 {
+		t.Fatalf("3x factor should pass, got %+v", got)
+	}
+}
+
+// TestCompareBothMetricsRegress: one benchmark blowing both gates reports
+// both, worst factor first.
+func TestCompareBothMetricsRegress(t *testing.T) {
+	old := mkReportMetrics(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 100, "allocs/op": 100},
+	})
+	now := mkReportMetrics(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 500, "allocs/op": 1000},
+	})
+	regs := Compare(old, now, 2)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs[0].Metric != "allocs/op" || regs[1].Metric != "ns/op" {
+		t.Fatalf("order = %+v", regs)
+	}
+}
+
+func TestNewestSnapshots(t *testing.T) {
+	oldP, newP, err := newestSnapshots([]string{
+		"BENCH_2.json", "BENCH_10.json", "BENCH_3.json", "notes.json", "BENCH_x.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric, not lexicographic: 10 is newest, 3 second-newest.
+	if oldP != "BENCH_3.json" || newP != "BENCH_10.json" {
+		t.Fatalf("selected %s -> %s", oldP, newP)
+	}
+	if _, _, err := newestSnapshots([]string{"BENCH_1.json"}); err == nil {
+		t.Fatal("single snapshot accepted")
+	}
+	if _, _, err := newestSnapshots(nil); err == nil {
+		t.Fatal("no snapshots accepted")
 	}
 }

@@ -10,10 +10,17 @@
 //
 //	experiments [-exp all|<name>[,<name>...]] [-rounds 30] [-seed 1]
 //	            [-out results] [-workers N] [-list]
+//	            [-traffic-store dir] [-cpuprofile file] [-memprofile file]
 //
 // Outputs are written to the -out directory as plain-text reports,
 // gnuplot-ready .dat series and SVG figures, plus a machine-readable
 // manifest.json describing every experiment, seed and output file.
+//
+// -traffic-store points the traffic scenarios' record-once-replay-many
+// path at an on-disk precomputed-trace store: the first run of a sweep
+// records each traffic world, every later run (any process) loads it.
+// -cpuprofile/-memprofile wrap the whole run in pprof profiling, the
+// hook for hunting sweep-serving regressions.
 package main
 
 import (
@@ -22,9 +29,12 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -32,12 +42,15 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		exp     = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
-		rounds  = flag.Int("rounds", 30, "rounds for the canonical testbed experiments")
-		seed    = flag.Int64("seed", 1, "root random seed")
-		out     = flag.String("out", "results", "output directory")
-		workers = flag.Int("workers", 0, "concurrent work units (0: GOMAXPROCS)")
-		list    = flag.Bool("list", false, "print the experiment catalogue and exit")
+		exp          = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
+		rounds       = flag.Int("rounds", 30, "rounds for the canonical testbed experiments")
+		seed         = flag.Int64("seed", 1, "root random seed")
+		out          = flag.String("out", "results", "output directory")
+		workers      = flag.Int("workers", 0, "concurrent work units (0: GOMAXPROCS)")
+		list         = flag.Bool("list", false, "print the experiment catalogue and exit")
+		trafficStore = flag.String("traffic-store", "", "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -46,32 +59,73 @@ func main() {
 		return
 	}
 
+	// Everything fallible runs inside run(): log.Fatal calls os.Exit,
+	// which would skip the profiling defers and leave a truncated
+	// cpu.pprof / missing mem.pprof on the very failing sweeps the
+	// profiling mode exists to debug.
+	if err := run(*exp, *rounds, *seed, *out, *workers, *trafficStore, *cpuProfile, *memProfile); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(exp string, rounds int, seed int64, out string, workers int, trafficStore, cpuProfile, memProfile string) (err error) {
+	if trafficStore != "" {
+		if err := scenario.SetTrafficTraceStore(trafficStore); err != nil {
+			return err
+		}
+	}
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memProfile != "" {
+		defer func() {
+			f, ferr := os.Create(memProfile)
+			if ferr != nil {
+				if err == nil {
+					err = ferr
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the final live set
+			if werr := pprof.WriteHeapProfile(f); werr != nil && err == nil {
+				err = werr
+			}
+		}()
+	}
+
 	runner, err := harness.NewRunner(harness.Config{
-		Rounds:  *rounds,
-		Seed:    *seed,
-		OutDir:  *out,
-		Workers: *workers,
+		Rounds:  rounds,
+		Seed:    seed,
+		OutDir:  out,
+		Workers: workers,
 		Logf:    log.Printf,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	names := harness.Names()
-	if *exp != "all" {
+	if exp != "all" {
 		names = names[:0]
-		for _, name := range strings.Split(*exp, ",") {
+		for _, name := range strings.Split(exp, ",") {
 			if name = strings.TrimSpace(name); name != "" {
 				names = append(names, name)
 			}
 		}
 	}
 	if len(names) == 0 {
-		log.Fatalf("no experiments selected by -exp %q", *exp)
+		return fmt.Errorf("no experiments selected by -exp %q", exp)
 	}
-	if err := runner.Run(names); err != nil {
-		log.Fatal(err)
-	}
+	return runner.Run(names)
 }
 
 // printCatalogue renders the registry as the experiment catalogue: one

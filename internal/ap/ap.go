@@ -101,18 +101,32 @@ func New(ctx sim.Context, station *mac.Station, cfg Config) (*AP, error) {
 	}
 	// Stagger flows within one inter-packet period so the AP's own
 	// frames never contend with each other at exactly the same instant.
+	// Each flow ticks through one pooled-event chain: after these initial
+	// schedules the AP's steady 5-15 frames/s cost no timer allocations.
 	period := time.Duration(float64(time.Second) / cfg.PacketsPerSecond)
 	for i, flow := range cfg.Flows {
-		flow := flow
 		offset := period * time.Duration(i) / time.Duration(len(cfg.Flows))
 		start := cfg.Start + offset
 		delay := start - ctx.Now()
 		if delay < 0 {
 			delay = 0
 		}
-		ctx.Schedule(delay, func() { a.tick(flow, period) })
+		ctx.ScheduleCall(delay, flowTick, &apFlow{ap: a, flow: flow, period: period})
 	}
 	return a, nil
+}
+
+// apFlow is one flow's tick-chain state, threaded through pooled events.
+type apFlow struct {
+	ap     *AP
+	flow   packet.NodeID
+	period time.Duration
+}
+
+// flowTick is the shared pooled-event callback driving every flow.
+func flowTick(arg any) {
+	fl := arg.(*apFlow)
+	fl.ap.tick(fl)
 }
 
 // Stop halts packet generation (already queued frames still drain).
@@ -125,10 +139,11 @@ func (a *AP) SentCount(flow packet.NodeID) uint32 { return a.sent[flow] }
 // NextSeq returns the next sequence number to be sent on a flow.
 func (a *AP) NextSeq(flow packet.NodeID) uint32 { return a.nextSeq[flow] }
 
-func (a *AP) tick(flow packet.NodeID, period time.Duration) {
+func (a *AP) tick(fl *apFlow) {
 	if a.stopped {
 		return
 	}
+	flow := fl.flow
 	now := a.ctx.Now()
 	if a.cfg.Stop > a.cfg.Start && now >= a.cfg.Stop {
 		return
@@ -153,5 +168,5 @@ func (a *AP) tick(flow packet.NodeID, period time.Duration) {
 		// the trace records only frames that reached the air.
 		_ = a.station.Send(packet.NewData(a.cfg.ID, flow, seq, a.payload))
 	}
-	a.ctx.Schedule(period, func() { a.tick(flow, period) })
+	a.ctx.ScheduleCall(fl.period, flowTick, fl)
 }

@@ -3,7 +3,6 @@ package carq
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"time"
 
 	"repro/internal/mac"
@@ -66,21 +65,68 @@ type Node struct {
 	// Packets buffered for other platoon members: flow -> seq -> payload.
 	forOthers map[packet.NodeID]map[uint32][]byte
 
-	// Timers.
-	helloEv     *sim.Event
-	apTimeoutEv *sim.Event
-	requestEv   *sim.Event
+	// Timers, pooled through the sim context: re-arming them (which the
+	// AP timeout does on every reception) allocates nothing.
+	helloTimer   *sim.Timer
+	apTimeout    *sim.Timer
+	requestTimer *sim.Timer
 
 	// Request cycling.
 	cursor int
 
-	// Scheduled cooperative responses, cancellable on overhear.
-	pending map[respKey]*sim.Event
+	// Scheduled cooperative responses, suppressible on overhear. Records
+	// recycle through respFree once fired or suppressed.
+	pending  map[respKey]*pendingResp
+	respFree *pendingResp
 
 	// Frame-combining soft buffers (nil until first corrupted copy).
 	combiner map[combinerKey]*combinerState
 
+	// Scratch buffers reused across protocol rounds.
+	missScratch []uint32
+	idsScratch  []packet.NodeID
+	candScratch []Candidate
+
 	stats Stats
+}
+
+// pendingResp is one scheduled cooperative RESPONSE. Suppression (another
+// cooperator answered first) flips cancelled instead of cancelling the
+// underlying pooled event; the firing then just recycles the record.
+type pendingResp struct {
+	n         *Node
+	dst       packet.NodeID
+	seq       uint32
+	payload   []byte
+	cancelled bool
+	next      *pendingResp
+}
+
+// respFire is the shared pooled-event callback for cooperative responses.
+func respFire(arg any) {
+	r := arg.(*pendingResp)
+	n := r.n
+	if !r.cancelled {
+		delete(n.pending, respKey{dst: r.dst, seq: r.seq})
+		if err := n.port.Send(packet.NewResponse(n.cfg.ID, r.dst, r.seq, r.payload)); err == nil {
+			n.stats.ResponsesSent++
+		}
+	}
+	r.payload = nil
+	r.next = n.respFree
+	n.respFree = r
+}
+
+// getResp pops a recycled response record.
+func (n *Node) getResp(dst packet.NodeID, seq uint32, payload []byte) *pendingResp {
+	r := n.respFree
+	if r == nil {
+		r = &pendingResp{n: n}
+	} else {
+		n.respFree = r.next
+	}
+	r.dst, r.seq, r.payload, r.cancelled, r.next = dst, seq, payload, false, nil
+	return r
 }
 
 // NewNode validates the configuration and returns a stopped node; call
@@ -111,7 +157,7 @@ func NewNode(cfg Config, deps Deps) (*Node, error) {
 	if obs == nil {
 		obs = NopObserver{}
 	}
-	return &Node{
+	n := &Node{
 		cfg:        cfg,
 		ctx:        deps.Ctx,
 		port:       deps.Port,
@@ -123,8 +169,12 @@ func NewNode(cfg Config, deps Deps) (*Node, error) {
 		serveSeen:  make(map[packet.NodeID]time.Duration),
 		have:       make(map[uint32][]byte),
 		forOthers:  make(map[packet.NodeID]map[uint32][]byte),
-		pending:    make(map[respKey]*sim.Event),
-	}, nil
+		pending:    make(map[respKey]*pendingResp),
+	}
+	n.helloTimer = deps.Ctx.NewTimer(n.helloTick)
+	n.apTimeout = deps.Ctx.NewTimer(n.onAPTimeout)
+	n.requestTimer = deps.Ctx.NewTimer(n.issueRequest)
+	return n, nil
 }
 
 // MustNode is NewNode but panics on error, for scenario assembly.
@@ -189,10 +239,15 @@ func (n *Node) recoveryLo() uint32 {
 // Missing returns the node's current missing list: every sequence in the
 // recovery range it does not hold, ascending.
 func (n *Node) Missing() []uint32 {
+	return n.missingInto(nil)
+}
+
+// missingInto appends the missing list to out (which callers on the hot
+// path pass in as a reusable scratch slice).
+func (n *Node) missingInto(out []uint32) []uint32 {
 	if !n.ownSeen {
-		return nil
+		return out
 	}
-	var out []uint32
 	for s := n.recoveryLo(); s <= n.ownMax; s++ {
 		if _, ok := n.have[s]; !ok {
 			out = append(out, s)
@@ -293,10 +348,7 @@ func (n *Node) bufferFor(flow packet.NodeID, seq uint32, payload []byte) {
 }
 
 func (n *Node) onAPContact() {
-	if n.apTimeoutEv != nil {
-		n.apTimeoutEv.Cancel()
-	}
-	n.apTimeoutEv = n.ctx.Schedule(n.cfg.APTimeout, n.onAPTimeout)
+	n.apTimeout.Reset(n.cfg.APTimeout)
 	if n.phase != PhaseReception {
 		n.setPhase(PhaseReception)
 		// Entering coverage ends the requesting cycle (the paper: a node
@@ -306,7 +358,6 @@ func (n *Node) onAPContact() {
 }
 
 func (n *Node) onAPTimeout() {
-	n.apTimeoutEv = nil
 	if n.phase != PhaseReception {
 		return
 	}
@@ -368,15 +419,16 @@ func (n *Node) onHello(f *packet.Frame, meta mac.RxMeta) {
 }
 
 // refreshCooperators prunes stale candidates and re-runs the selection
-// policy.
+// policy. The id and candidate slices are node-owned scratch (selection
+// policies copy their input); only the policy's own result allocates.
 func (n *Node) refreshCooperators() {
 	now := n.ctx.Now()
-	ids := make([]packet.NodeID, 0, len(n.cands))
+	ids := n.idsScratch[:0]
 	for id := range n.cands {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	cands := make([]Candidate, 0, len(ids))
+	sortNodeIDs(ids)
+	cands := n.candScratch[:0]
 	for _, id := range ids {
 		c := n.cands[id]
 		if now-c.lastHeard > n.cfg.CandidateTTL {
@@ -390,6 +442,7 @@ func (n *Node) refreshCooperators() {
 			RxPowerDBm: c.rxPowerDBm,
 		})
 	}
+	n.idsScratch, n.candScratch = ids, cands
 	n.myCoops = n.cfg.Selection.Select(cands)
 
 	// Also expire serving relationships whose HELLOs went silent.
@@ -401,8 +454,18 @@ func (n *Node) refreshCooperators() {
 	}
 }
 
+// sortNodeIDs is an allocation-free ascending insertion sort (candidate
+// sets are a handful of platoon neighbours).
+func sortNodeIDs(ids []packet.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
 func (n *Node) scheduleHello(d time.Duration) {
-	n.helloEv = n.ctx.Schedule(d, n.helloTick)
+	n.helloTimer.Reset(d)
 }
 
 func (n *Node) helloTick() {
@@ -421,22 +484,19 @@ func (n *Node) jitter(d time.Duration) time.Duration {
 // --- Cooperative-ARQ phase: requesting ----------------------------------
 
 func (n *Node) scheduleRequest(d time.Duration) {
-	n.requestEv = n.ctx.Schedule(d, n.issueRequest)
+	n.requestTimer.Reset(d)
 }
 
 func (n *Node) stopRequesting() {
-	if n.requestEv != nil {
-		n.requestEv.Cancel()
-		n.requestEv = nil
-	}
+	n.requestTimer.Stop()
 }
 
 func (n *Node) issueRequest() {
-	n.requestEv = nil
 	if n.phase != PhaseCoopARQ {
 		return
 	}
-	missing := n.Missing()
+	missing := n.missingInto(n.missScratch[:0])
+	n.missScratch = missing
 	if len(missing) == 0 {
 		n.obs.OnComplete(n.cfg.ID, n.ctx.Now())
 		return
@@ -446,18 +506,19 @@ func (n *Node) issueRequest() {
 		// as the paper prescribes.
 		n.cursor = 0
 	}
-	var seqs []uint32
+	lo, hi := n.cursor, n.cursor+1
 	if n.cfg.BatchRequests {
-		end := n.cursor + n.cfg.MaxBatch
-		if end > len(missing) {
-			end = len(missing)
+		hi = n.cursor + n.cfg.MaxBatch
+		if hi > len(missing) {
+			hi = len(missing)
 		}
-		seqs = missing[n.cursor:end]
-		n.cursor = end
-	} else {
-		seqs = missing[n.cursor : n.cursor+1]
-		n.cursor++
 	}
+	n.cursor = hi
+	// The frame gets its own (small: one batch) copy of the sequences,
+	// never a view of the scratch: the frame outlives this call in the
+	// MAC queue and transmission history, and the next issueRequest
+	// rewrites the scratch in place.
+	seqs := append([]uint32(nil), missing[lo:hi]...)
 	if err := n.port.Send(packet.NewRequest(n.cfg.ID, seqs)); err == nil {
 		n.stats.RequestsSent++
 		n.stats.RequestSeqsSent += uint64(len(seqs))
@@ -505,17 +566,9 @@ func (n *Node) onRequest(f *packet.Frame) {
 		delay := time.Duration(order)*n.cfg.CoopSlot +
 			time.Duration(held)*n.cfg.PerResponseTime
 		held++
-		seq, payload := seq, payload
-		n.pending[key] = n.ctx.Schedule(delay, func() {
-			n.sendResponse(f.Src, seq, payload)
-		})
-	}
-}
-
-func (n *Node) sendResponse(dst packet.NodeID, seq uint32, payload []byte) {
-	delete(n.pending, respKey{dst: dst, seq: seq})
-	if err := n.port.Send(packet.NewResponse(n.cfg.ID, dst, seq, payload)); err == nil {
-		n.stats.ResponsesSent++
+		r := n.getResp(f.Src, seq, payload)
+		n.pending[key] = r
+		n.ctx.ScheduleCall(delay, respFire, r)
 	}
 }
 
@@ -540,8 +593,9 @@ func (n *Node) onResponse(f *packet.Frame) {
 	// Overheard response to someone else: suppress our own pending
 	// response for the same packet — another cooperator got there first.
 	key := respKey{dst: f.Dst, seq: f.Seq}
-	if ev, ok := n.pending[key]; ok {
-		if ev.Cancel() {
+	if r, ok := n.pending[key]; ok {
+		if !r.cancelled {
+			r.cancelled = true
 			n.stats.ResponsesSuppressed++
 		}
 		delete(n.pending, key)

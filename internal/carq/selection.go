@@ -24,6 +24,10 @@ type Candidate struct {
 // HELLOs: index k answers requests after k back-off slots. The paper
 // explicitly leaves the optimal policy as future work; SelectAll matches
 // the prototype (every one-hop neighbour, in discovery order).
+//
+// The cands slice is node-owned scratch, valid only for the duration of
+// the call: implementations must copy anything they keep (the built-in
+// policies sort a copy) and must not return a slice backed by it.
 type Selection interface {
 	Select(cands []Candidate) []packet.NodeID
 }

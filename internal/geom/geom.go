@@ -136,6 +136,34 @@ func (pl *Polyline) At(s float64) Point {
 	return Lerp(pl.pts[lo], pl.pts[hi], t)
 }
 
+// PointHeading returns At(s) and Heading(s) from one segment search — the
+// two are always wanted together on the mobility hot path (lane offsets
+// need the travel direction), and both run the same binary search over the
+// cumulative lengths. Results are exactly At's and Heading's.
+func (pl *Polyline) PointHeading(s float64) (Point, Vec) {
+	total := pl.Length()
+	if s <= 0 || s >= total {
+		// Ends have bespoke clamp rules in both functions; they are rare
+		// (a vehicle parked at a link boundary), so delegate.
+		return pl.At(s), pl.Heading(s)
+	}
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	segLen := pl.cum[hi] - pl.cum[lo]
+	p := pl.pts[lo]
+	if segLen != 0 {
+		p = Lerp(pl.pts[lo], pl.pts[hi], (s-pl.cum[lo])/segLen)
+	}
+	return p, pl.dirs[lo]
+}
+
 // AtLooped returns the point at arc length s on the closed loop formed by
 // joining the last vertex back to the first is NOT implied; the polyline is
 // treated as a cycle of its own length: s wraps modulo Length. Callers that

@@ -218,6 +218,9 @@ func TestBatchTestbedMatchesRunTestbed(t *testing.T) {
 	cfg := scenario.DefaultTestbed()
 	cfg.Rounds = 2
 	cfg.Seed = 3
+	// The batch keys the sweep arm by the point label; pin it on the
+	// direct run too so both execute the identical config.
+	cfg.Arm = "canonical"
 
 	direct, err := scenario.RunTestbed(cfg)
 	if err != nil {

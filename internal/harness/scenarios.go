@@ -12,6 +12,12 @@ import (
 // parameter points so one Go() call can saturate the pool with every
 // round of every point at once. Results returned by the AddX methods are
 // filled in when Go returns; reading them earlier is a bug.
+//
+// Every method keys the config's sweep arm (scenario's Arm field) by the
+// parameter-point label unless the study set one explicitly, so different
+// arms of one sweep draw independent channel/protocol randomness — no two
+// arms share a fading realization — while their expensive traffic worlds
+// stay shared through the (seed, round)-keyed caches.
 type Batch struct {
 	ctx       *Context
 	units     []Unit
@@ -63,6 +69,9 @@ func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.Test
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.TestbedResult{}
 	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
+	}
 	// The pool owns concurrency; a nested parallel loop would only fight
 	// it for cores.
 	ncfg.Parallel = false
@@ -91,6 +100,9 @@ func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.High
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.HighwayResult{}
 	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
+	}
 	res := &scenario.HighwayResult{
 		Config: ncfg,
 		CarIDs: scenario.CarIDs(ncfg.Cars),
@@ -113,6 +125,9 @@ func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.Co
 	if err != nil {
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.CorridorResult{}
+	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
 	}
 	res := &scenario.CorridorResult{
 		Config:      ncfg,
@@ -137,6 +152,9 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 	if err != nil {
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.TwoWayResult{}
+	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
 	}
 	res := &scenario.TwoWayResult{
 		Config:   ncfg,
@@ -164,6 +182,9 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.TrafficGridResult{}
 	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
+	}
 	res := &scenario.TrafficGridResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -187,6 +208,9 @@ func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.
 	if err != nil {
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.CityScaleResult{}
+	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
 	}
 	res := &scenario.CityScaleResult{
 		Config:  ncfg,
@@ -215,6 +239,9 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 		b.cfgErrors = append(b.cfgErrors, err)
 		return &scenario.StopGoResult{}
 	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
+	}
 	res := &scenario.StopGoResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -235,6 +262,9 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 // Download adds one multi-lap file-download point as a single unit (the
 // download scenario is one continuous simulation, not rounds).
 func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.DownloadResult {
+	if cfg.Arm == "" {
+		cfg.Arm = point
+	}
 	res := new(*scenario.DownloadResult)
 	b.addRounds("download", point, 1, func(int) error {
 		r, err := scenario.RunDownload(cfg)

@@ -51,16 +51,33 @@ func urbanEquivalenceChannel(seed int64) radio.Config {
 	return cfg
 }
 
+// eqWorld shapes a randomized equivalence world.
+type eqWorld struct {
+	areaM   float64
+	simFor  time.Duration
+	maxVel  float64 // per-axis m/s; keep under MaxSpeedMPS/sqrt(2)
+	sendsPb int     // frames per station
+}
+
+func defaultEqWorld() eqWorld {
+	return eqWorld{areaM: 4000, simFor: 2 * time.Second, maxVel: 30, sendsPb: 3}
+}
+
 // runEquivalenceWorld builds one randomized topology/schedule and runs it
 // under the given medium config. Everything random derives from seed, so
 // two calls with different medium configs see identical worlds.
 func runEquivalenceWorld(t *testing.T, seed int64, stations int, mcfg MediumConfig) *eqRecorder {
 	t.Helper()
-	const (
-		areaM   = 4000.0
-		simFor  = 2 * time.Second
-		maxVel  = 30.0 // m/s, well under the medium's MaxSpeedMPS contract
-		sendsPb = 3    // frames per station
+	return runEquivalenceWorldSpec(t, seed, stations, mcfg, defaultEqWorld())
+}
+
+func runEquivalenceWorldSpec(t *testing.T, seed int64, stations int, mcfg MediumConfig, w eqWorld) *eqRecorder {
+	t.Helper()
+	var (
+		areaM   = w.areaM
+		simFor  = w.simFor
+		maxVel  = w.maxVel
+		sendsPb = w.sendsPb
 	)
 	world := rand.New(rand.NewSource(seed))
 	engine := sim.New()
@@ -147,6 +164,41 @@ func TestIndexedMatchesExhaustive(t *testing.T) {
 			// stations: without culling every transmission reaches
 			// exactly stations-1 receivers.
 			if exh.deliveries >= exh.txCount*(tc.stations-1) {
+				t.Fatal("no transmission was culled; the topology does not exercise the horizon")
+			}
+		})
+	}
+}
+
+// TestIncrementalIndexLongRunEquivalence stresses the incremental index
+// maintenance specifically: small cells and a long run mean hundreds of
+// refresh cycles with constant cell crossings, and the per-axis velocity
+// is high enough that stations escape the padded bounds mid-run, forcing
+// full rebuilds interleaved with incremental refreshes. Every mode must
+// still reproduce the exhaustive scan's event stream byte for byte.
+func TestIncrementalIndexLongRunEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long equivalence world in -short mode")
+	}
+	world := eqWorld{areaM: 1500, simFor: 12 * time.Second, maxVel: 40, sendsPb: 6}
+	for _, seed := range []int64{11, 12} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			exh := runEquivalenceWorldSpec(t, seed, 60, MediumConfig{Exhaustive: true}, world)
+			idx := runEquivalenceWorldSpec(t, seed, 60,
+				MediumConfig{CellM: 100, RefreshInterval: 300 * time.Millisecond}, world)
+			if len(exh.log) == 0 {
+				t.Fatal("empty event log")
+			}
+			if len(idx.log) != len(exh.log) {
+				t.Fatalf("event counts differ: indexed %d vs exhaustive %d", len(idx.log), len(exh.log))
+			}
+			for i := range exh.log {
+				if idx.log[i] != exh.log[i] {
+					t.Fatalf("event %d differs:\nindexed:    %s\nexhaustive: %s", i, idx.log[i], exh.log[i])
+				}
+			}
+			if exh.deliveries >= exh.txCount*(60-1) {
 				t.Fatal("no transmission was culled; the topology does not exercise the horizon")
 			}
 		})

@@ -33,6 +33,11 @@ type RxMeta struct {
 // Handler consumes frames delivered by a station's radio. Stations are
 // promiscuous: every successfully decoded frame is delivered, whatever its
 // destination, mirroring the prototype's monitor-mode NICs.
+//
+// The frame a handler receives is decoded once per transmission and shared
+// by every receiving station (decoding is deterministic, so this is
+// invisible in traces). Handlers may retain the frame and its payload but
+// must never mutate them.
 type Handler interface {
 	HandleFrame(f *packet.Frame, meta RxMeta)
 }
@@ -76,6 +81,13 @@ type transmission struct {
 	// that a linear scan beats hashing, and the allocation matters at
 	// city-scale transmission rates.
 	pows []float64
+	// rxFrame is the frame decoded from wire, shared by every receiver
+	// (decode is lazy: transmissions nobody decodes never pay for it).
+	rxFrame *packet.Frame
+	decoded bool
+	// next links the medium's transmission free list; transmissions
+	// recycle when they age out of the interference history.
+	next *transmission
 }
 
 // powerAt returns the transmission's mean rx power at station s, if s was
@@ -160,8 +172,10 @@ type Medium struct {
 	order    []*Station // deterministic iteration order
 	active   []*transmission
 	// history keeps recently ended transmissions long enough to compute
-	// interference for frames that overlapped them.
+	// interference for frames that overlapped them; pruneAt is the length
+	// that triggers the next lazy prune.
 	history []*transmission
+	pruneAt int
 	// maxAirtime widens the history retention so that even the longest
 	// frame seen stays available for overlap queries.
 	maxAirtime time.Duration
@@ -174,16 +188,34 @@ type Medium struct {
 	rangeCache map[rangeKey]float64
 
 	// index is the spatial station index for the indexed delivery path,
-	// rebuilt lazily from the stations' position functions.
-	index   *spatial.Grid[packet.NodeID]
+	// keyed by registration index and maintained incrementally: a refresh
+	// moves every station's entry to its current position (a bare store
+	// when the station stayed in its cell) instead of rebuilding the grid.
+	// Full rebuilds happen only when the population changes or a station
+	// escapes the padded bounds.
+	index   *spatial.Grid[int32]
+	idxRefs []spatial.Ref
 	indexAt time.Duration
 	indexOK bool
 	// waitlist holds stations that flagged themselves waiting for an idle
 	// medium; endTransmission wakes exactly these (in registration
 	// order) instead of scanning every station.
 	waitlist []*Station
+	// endCall is the pooled-event callback ending transmissions, built
+	// once so the tx/rx hot path schedules without allocating a closure.
+	endCall func(any)
+	// nopTrace marks a medium built with a nil tracer: deliveries whose
+	// receiver also has no handler can then skip the wire decode, since
+	// nothing could observe the frame.
+	nopTrace bool
+	// txFree and the wire free lists recycle transmissions and wire
+	// buffers as they age out of the history; wires pool in two capacity
+	// classes so control frames do not evict data-frame buffers.
+	txFree    *transmission
+	wireSmall [][]byte
+	wireLarge [][]byte
 	// scratch buffers, reused across transmissions.
-	cand     []*Station
+	candIdx  []int32
 	rxc      []rxCand
 	pts      []geom.Point
 	overlaps []*transmission
@@ -204,10 +236,12 @@ func NewMedium(engine *sim.Engine, channel *radio.Channel, tracer Tracer) *Mediu
 
 // NewMediumWith is NewMedium with an explicit delivery configuration.
 func NewMediumWith(engine *sim.Engine, channel *radio.Channel, tracer Tracer, cfg MediumConfig) *Medium {
-	if tracer == nil {
+	nop := tracer == nil
+	if nop {
 		tracer = nopTracer{}
 	}
-	return &Medium{
+	m := &Medium{
+		nopTrace:   nop,
 		engine:     engine,
 		channel:    channel,
 		tracer:     tracer,
@@ -215,7 +249,10 @@ func NewMediumWith(engine *sim.Engine, channel *radio.Channel, tracer Tracer, cf
 		stations:   make(map[packet.NodeID]*Station),
 		minCSDBm:   math.Inf(1),
 		rangeCache: make(map[rangeKey]float64),
+		pruneAt:    32,
 	}
+	m.endCall = func(arg any) { m.endTransmission(arg.(*transmission)) }
+	return m
 }
 
 // Engine returns the simulation engine driving this medium.
@@ -245,6 +282,7 @@ func (m *Medium) AddStation(id packet.NodeID, pos PositionFunc, handler Handler,
 		cfg:     cfg,
 		rng:     sim.Stream(int64(m.channel.Config().Seed), "mac-backoff-"+id.String()),
 	}
+	s.contention = m.engine.NewTimer(s.beginTx)
 	m.stations[id] = s
 	m.order = append(m.order, s)
 	m.indexOK = false // force a rebuild that includes the newcomer
@@ -296,7 +334,7 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 			if rx == src {
 				continue
 			}
-			p := rx.pos(now)
+			p := rx.posAt(now)
 			if srcPos.Dist(p) <= maxRange {
 				out = append(out, rxCand{rx, p})
 			}
@@ -309,18 +347,17 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 	// The index holds positions sampled at indexAt; a station may have
 	// moved since, but no further than its speed bound allows.
 	pad := m.cfg.MaxSpeedMPS * (now - m.indexAt).Seconds()
-	m.cand = m.cand[:0]
-	m.index.Near(srcPos, maxRange+pad, func(e spatial.Entry[packet.NodeID]) bool {
-		if e.ID != src.id {
-			m.cand = append(m.cand, m.stations[e.ID])
-		}
-		return true
-	})
+	m.candIdx = m.index.IDsWithin(srcPos, maxRange+pad, m.candIdx[:0])
 	// Registration order, then the exact same filter the scan applies.
-	sortStationsByIdx(m.cand)
+	sortIdx(m.candIdx)
+	srcIdx := int32(src.idx)
 	out := m.rxc[:0]
-	for _, rx := range m.cand {
-		p := rx.pos(now)
+	for _, idx := range m.candIdx {
+		if idx == srcIdx {
+			continue
+		}
+		rx := m.order[idx]
+		p := rx.posAt(now)
 		if srcPos.Dist(p) <= maxRange {
 			out = append(out, rxCand{rx, p})
 		}
@@ -329,33 +366,64 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 	return out
 }
 
-// refreshIndex rebuilds the spatial index from the stations' current
-// positions when it is missing or older than the refresh interval.
+// indexBoundsPadCells is how many extra cells of margin a full rebuild
+// adds around the stations' bounding box, so the population can drift for
+// many refresh intervals before anyone escapes the bounds and forces the
+// next full rebuild.
+const indexBoundsPadCells = 4
+
+// refreshIndex brings the spatial index up to date when it is missing or
+// older than the refresh interval. The steady-state path is incremental:
+// every station's entry moves to its current position (O(1), and a bare
+// position store while the station stays inside its cell). A full rebuild
+// happens only on the first use, after AddStation, or when a station
+// leaves the padded bounds.
 func (m *Medium) refreshIndex(now time.Duration) {
 	if m.indexOK && now-m.indexAt <= m.cfg.RefreshInterval {
 		return
 	}
+	if m.indexOK && len(m.idxRefs) == len(m.order) {
+		for i, s := range m.order {
+			p := s.posAt(now)
+			if !m.index.Contains(p) {
+				m.rebuildIndex(now)
+				return
+			}
+			m.index.MoveRef(m.idxRefs[i], p)
+		}
+		m.indexAt = now
+		return
+	}
+	m.rebuildIndex(now)
+}
+
+// rebuildIndex rebuilds the spatial index from scratch over the stations'
+// current bounding box plus drift margin.
+func (m *Medium) rebuildIndex(now time.Duration) {
 	m.pts = m.pts[:0]
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
 	for _, s := range m.order {
-		p := s.pos(now)
+		p := s.posAt(now)
 		m.pts = append(m.pts, p)
 		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
 		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
 	}
-	// Pad so the bounds are never degenerate.
+	// Pad so the bounds are never degenerate and drift stays in-bounds
+	// across many refresh intervals.
+	pad := indexBoundsPadCells * m.cfg.CellM
 	bounds := geom.Rect{
-		MinX: minX - m.cfg.CellM, MinY: minY - m.cfg.CellM,
-		MaxX: maxX + m.cfg.CellM, MaxY: maxY + m.cfg.CellM,
+		MinX: minX - pad, MinY: minY - pad,
+		MaxX: maxX + pad, MaxY: maxY + pad,
 	}
 	if m.index == nil {
-		m.index, _ = spatial.NewGrid[packet.NodeID](bounds, m.cfg.CellM)
+		m.index, _ = spatial.NewGrid[int32](bounds, m.cfg.CellM)
 	} else if err := m.index.Reindex(bounds, m.cfg.CellM); err != nil {
 		panic(fmt.Sprintf("mac: reindex: %v", err))
 	}
-	for i, s := range m.order {
-		m.index.Insert(s.id, m.pts[i])
+	m.idxRefs = m.idxRefs[:0]
+	for i := range m.order {
+		m.idxRefs = append(m.idxRefs, m.index.InsertRef(int32(i), m.pts[i]))
 	}
 	m.indexAt = now
 	m.indexOK = true
@@ -377,26 +445,80 @@ func (m *Medium) busyFor(s *Station) bool {
 	return false
 }
 
+// getTransmission pops a recycled transmission (or allocates the first
+// few); dests/pows keep their capacity across reuses.
+func (m *Medium) getTransmission() *transmission {
+	tx := m.txFree
+	if tx == nil {
+		return &transmission{}
+	}
+	m.txFree = tx.next
+	tx.next = nil
+	return tx
+}
+
+// recycleTransmission returns an expired history entry to the free lists.
+// The decoded frame is NOT recycled: handlers may retain it.
+func (m *Medium) recycleTransmission(tx *transmission) {
+	m.putWire(tx.wire)
+	tx.src, tx.frame, tx.wire, tx.rxFrame = nil, nil, nil, nil
+	tx.decoded = false
+	for i := range tx.dests {
+		tx.dests[i] = nil
+	}
+	tx.dests, tx.pows = tx.dests[:0], tx.pows[:0]
+	tx.next = m.txFree
+	m.txFree = tx
+}
+
+// wireSmallCap is the boundary between the two wire-buffer classes:
+// control frames (HELLO, REQUEST) pool separately from data frames so a
+// mixed workload reuses both without evictions.
+const wireSmallCap = 256
+
+// getWire pops a reusable wire buffer with at least n bytes of capacity.
+func (m *Medium) getWire(n int) []byte {
+	pool := &m.wireLarge
+	if n <= wireSmallCap {
+		pool = &m.wireSmall
+	}
+	if k := len(*pool); k > 0 {
+		b := (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// putWire returns an unused wire buffer (encode failure, full queue,
+// recycled transmission) to its pool.
+func (m *Medium) putWire(b []byte) {
+	if b == nil {
+		return
+	}
+	if cap(b) <= wireSmallCap {
+		m.wireSmall = append(m.wireSmall, b[:0])
+	} else {
+		m.wireLarge = append(m.wireLarge, b[:0])
+	}
+}
+
 // startTransmission puts a frame on the air from station src.
 func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	now := m.engine.Now()
 	mod := src.cfg.Modulation
 	airtime := secondsToDuration(mod.Airtime(len(wire)))
-	srcPos := src.pos(now)
+	srcPos := src.posAt(now)
 	cands := m.recipients(src, srcPos, now, m.maxRangeFor(mod, len(wire)))
-	tx := &transmission{
-		src:   src,
-		frame: f,
-		wire:  wire,
-		mod:   mod,
-		start: now,
-		end:   now + airtime,
-		dests: make([]*Station, len(cands)),
-		pows:  make([]float64, len(cands)),
-	}
-	for i, c := range cands {
-		tx.dests[i] = c.st
-		tx.pows[i] = m.channel.MeanRxPowerDBm(src.id, c.st.id, srcPos, c.pos, now)
+	tx := m.getTransmission()
+	tx.src, tx.frame, tx.wire, tx.mod = src, f, wire, mod
+	tx.start, tx.end = now, now+airtime
+	for _, c := range cands {
+		tx.dests = append(tx.dests, c.st)
+		tx.pows = append(tx.pows, m.channel.MeanRxPowerDBm(src.id, c.st.id, srcPos, c.pos, now))
 	}
 	m.active = append(m.active, tx)
 	if airtime > m.maxAirtime {
@@ -412,7 +534,7 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 		}
 	}
 
-	m.engine.Schedule(airtime, func() { m.endTransmission(tx) })
+	m.engine.ScheduleCall(airtime, m.endCall, tx)
 }
 
 // endTransmission resolves delivery of tx at each receiver and wakes
@@ -429,24 +551,45 @@ func (m *Medium) endTransmission(tx *transmission) {
 	m.history = append(m.history, tx)
 	// Prune lazily: retention only bounds memory (the overlap filter
 	// below re-checks time windows), so scanning the history on every
-	// single end is wasted work on the hot path.
-	if len(m.history) >= 32 {
+	// single end is wasted work on the hot path. The threshold adapts to
+	// twice the surviving population, so under sustained traffic the scan
+	// amortises to O(1) per transmission while memory stays within 2x of
+	// the retention window's true content.
+	if len(m.history) >= m.pruneAt {
 		m.pruneHistory(now)
+		m.pruneAt = 2 * len(m.history)
+		if m.pruneAt < 32 {
+			m.pruneAt = 32
+		}
 	}
 
 	// Collect the transmissions that overlapped tx once, instead of
 	// rescanning the whole active+history list per receiver: the overlap
 	// set is a handful of frames even when the history holds hundreds.
+	// History entries are appended at their end instants, so their end
+	// times are non-decreasing: scanning newest-first stops at the first
+	// entry that ended before tx began, making the collection O(overlap)
+	// rather than O(history). The collected suffix is reversed so the
+	// overlap order (and with it the interference power-summation order)
+	// stays the chronological order the per-receiver rescan used.
 	m.overlaps = m.overlaps[:0]
 	for _, other := range m.active {
 		if other != tx && other.overlaps(tx.start, tx.end) {
 			m.overlaps = append(m.overlaps, other)
 		}
 	}
-	for _, other := range m.history {
-		if other != tx && other.overlaps(tx.start, tx.end) {
+	histStart := len(m.overlaps)
+	for i := len(m.history) - 1; i >= 0; i-- {
+		other := m.history[i]
+		if other.end <= tx.start {
+			break
+		}
+		if other != tx && other.start < tx.end {
 			m.overlaps = append(m.overlaps, other)
 		}
+	}
+	for i, j := histStart, len(m.overlaps)-1; i < j; i, j = i+1, j-1 {
+		m.overlaps[i], m.overlaps[j] = m.overlaps[j], m.overlaps[i]
 	}
 
 	for i := range tx.dests {
@@ -488,6 +631,15 @@ func sortStationsByIdx(ss []*Station) {
 	for i := 1; i < len(ss); i++ {
 		for j := i; j > 0 && ss[j].idx < ss[j-1].idx; j-- {
 			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+// sortIdx is sortStationsByIdx for raw registration indices.
+func sortIdx(xs []int32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
 		}
 	}
 }
@@ -534,17 +686,24 @@ func (m *Medium) deliver(tx *transmission, i int) {
 	if !decision.Received {
 		m.tracer.OnDrop(rx.id, tx.frame, now, DropChannel)
 		if rx.cfg.DeliverCorrupt && rx.handler != nil {
-			if f, err := packet.Decode(tx.wire); err == nil {
+			if f := tx.decode(); f != nil {
 				meta.Corrupt = true
 				rx.handler.HandleFrame(f, meta)
 			}
 		}
 		return
 	}
-	// Decode from wire bytes: the CRC is part of the model, and protocol
-	// layers receive an independent copy of the frame.
-	f, err := packet.Decode(tx.wire)
-	if err != nil {
+	// Untraced deliveries to handler-less stations have no observer for
+	// the decoded frame: skip the decode. (Sensing, capture and the
+	// channel decision above — everything that consumes randomness or
+	// affects other stations — already ran.)
+	if m.nopTrace && rx.handler == nil {
+		return
+	}
+	// Decode from wire bytes: the CRC is part of the model. The decoded
+	// frame is shared by every receiver of the transmission (see Handler).
+	f := tx.decode()
+	if f == nil {
 		m.tracer.OnDrop(rx.id, tx.frame, now, DropDecode)
 		return
 	}
@@ -552,6 +711,16 @@ func (m *Medium) deliver(tx *transmission, i int) {
 	if rx.handler != nil {
 		rx.handler.HandleFrame(f, meta)
 	}
+}
+
+// decode returns the transmission's wire bytes decoded into a frame,
+// computing it on first use and nil if the bytes do not decode.
+func (t *transmission) decode() *packet.Frame {
+	if !t.decoded {
+		t.decoded = true
+		t.rxFrame, _ = packet.Decode(t.wire)
+	}
+	return t.rxFrame
 }
 
 // interferenceAt power-sums the transmissions that overlapped the frame
@@ -593,9 +762,11 @@ func (m *Medium) pruneHistory(now time.Duration) {
 	for _, tx := range m.history {
 		if tx.end >= cutoff {
 			keep = append(keep, tx)
+		} else {
+			m.recycleTransmission(tx)
 		}
 	}
-	// Zero the tail so dropped transmissions can be collected.
+	// Zero the tail so the slice drops its references to recycled entries.
 	for i := len(keep); i < len(m.history); i++ {
 		m.history[i] = nil
 	}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/geom"
 	"repro/internal/packet"
 	"repro/internal/sim"
 )
@@ -32,16 +33,29 @@ type Station struct {
 	cfg     Config
 	rng     *rand.Rand
 
-	queue        []*queued
+	// queue is a ring of frames waiting for the medium: qhead indexes the
+	// next frame out, the tail appends, and the backing array recycles
+	// whenever the queue drains — steady state enqueues nothing.
+	queue        []queued
+	qhead        int
 	transmitting bool
-	// pendingTx is the scheduled end-of-contention event, nil when the
+	// contention is the DIFS+back-off countdown timer; idle when the
 	// station is not contending.
-	pendingTx *sim.Event
+	contention *sim.Timer
 	// waiting marks that the station has traffic but the medium was busy;
 	// it retries when the medium may have become idle.
 	waiting bool
 	// queuedWait marks membership in the medium's wake-up list.
 	queuedWait bool
+
+	// posT/posP memoise the last position evaluation. Position functions
+	// are pure, and the delivery path often asks for the same station's
+	// position several times in one instant (index refresh plus exact
+	// filters plus power sampling), so the memo trades one comparison for
+	// repeated mobility-model evaluations.
+	posT  time.Duration
+	posP  geom.Point
+	posOK bool
 
 	// sent counts frames put on the air, for diagnostics.
 	sent uint64
@@ -61,24 +75,36 @@ func (s *Station) ID() packet.NodeID { return s.id }
 func (s *Station) Sent() uint64 { return s.sent }
 
 // QueueLen returns the number of frames waiting for the medium.
-func (s *Station) QueueLen() int { return len(s.queue) }
+func (s *Station) QueueLen() int { return len(s.queue) - s.qhead }
 
 // SetHandler installs the receive handler; protocol layers that need a
 // reference to their own station call this after AddStation.
 func (s *Station) SetHandler(h Handler) { s.handler = h }
 
+// posAt returns the station's position at now, memoising the evaluation.
+func (s *Station) posAt(now time.Duration) geom.Point {
+	if s.posOK && s.posT == now {
+		return s.posP
+	}
+	p := s.pos(now)
+	s.posT, s.posP, s.posOK = now, p, true
+	return p
+}
+
 // Send encodes the frame and enqueues it for transmission. It returns an
 // error if the frame does not encode or the queue is full.
 func (s *Station) Send(f *packet.Frame) error {
-	wire, err := f.Encode()
+	wire, err := f.AppendEncode(s.medium.getWire(f.WireSize()))
 	if err != nil {
+		s.medium.putWire(wire)
 		return fmt.Errorf("mac: station %v: %w", s.id, err)
 	}
-	if len(s.queue) >= s.cfg.QueueCap {
+	if s.QueueLen() >= s.cfg.QueueCap {
+		s.medium.putWire(wire)
 		s.dropped++
-		return fmt.Errorf("mac: station %v: queue full (%d frames)", s.id, len(s.queue))
+		return fmt.Errorf("mac: station %v: queue full (%d frames)", s.id, s.QueueLen())
 	}
-	s.queue = append(s.queue, &queued{frame: f, wire: wire})
+	s.queue = append(s.queue, queued{frame: f, wire: wire})
 	s.tryContend()
 	return nil
 }
@@ -86,14 +112,14 @@ func (s *Station) Send(f *packet.Frame) error {
 // wantsMedium reports whether the station has traffic waiting on medium
 // availability.
 func (s *Station) wantsMedium() bool {
-	return len(s.queue) > 0 && !s.transmitting && s.pendingTx == nil
+	return s.QueueLen() > 0 && !s.transmitting && !s.contention.Pending()
 }
 
 // tryContend starts the DIFS+back-off countdown if the station has
 // traffic, is not already contending or transmitting, and senses an idle
 // medium. Otherwise it flags itself to be woken when the medium frees.
 func (s *Station) tryContend() {
-	if len(s.queue) == 0 || s.transmitting || s.pendingTx != nil {
+	if s.QueueLen() == 0 || s.transmitting || s.contention.Pending() {
 		return
 	}
 	if s.medium.busyFor(s) {
@@ -106,14 +132,12 @@ func (s *Station) tryContend() {
 	if s.cfg.CWMin > 0 {
 		slots = s.rng.Intn(s.cfg.CWMin + 1)
 	}
-	defer_ := s.cfg.DIFS + time.Duration(slots)*s.cfg.SlotTime
-	s.pendingTx = s.medium.engine.Schedule(defer_, s.beginTx)
+	s.contention.Reset(s.cfg.DIFS + time.Duration(slots)*s.cfg.SlotTime)
 }
 
 // beginTx fires at the end of the contention period.
 func (s *Station) beginTx() {
-	s.pendingTx = nil
-	if len(s.queue) == 0 {
+	if s.QueueLen() == 0 {
 		return
 	}
 	// The medium may have turned busy in the same instant (tie-breaking);
@@ -123,8 +147,22 @@ func (s *Station) beginTx() {
 		s.medium.enqueueWaiting(s)
 		return
 	}
-	q := s.queue[0]
-	s.queue = s.queue[1:]
+	q := s.queue[s.qhead]
+	s.queue[s.qhead] = queued{}
+	s.qhead++
+	if s.qhead == len(s.queue) {
+		s.queue, s.qhead = s.queue[:0], 0
+	} else if s.qhead >= 32 && s.qhead*2 >= len(s.queue) {
+		// A station that never fully drains would otherwise grow its
+		// backing array by one dead slot per frame ever sent; compact
+		// once the dead prefix dominates, which amortises to O(1) per
+		// frame and bounds the array at ~2x the live queue.
+		n := copy(s.queue, s.queue[s.qhead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = queued{}
+		}
+		s.queue, s.qhead = s.queue[:n], 0
+	}
 	s.transmitting = true
 	s.sent++
 	s.medium.startTransmission(s, q.frame, q.wire)
@@ -133,11 +171,8 @@ func (s *Station) beginTx() {
 // onMediumBusy is called by the medium when a transmission starts that
 // this station can sense: abort contention and wait for idle.
 func (s *Station) onMediumBusy() {
-	if s.pendingTx != nil {
-		s.pendingTx.Cancel()
-		s.pendingTx = nil
-	}
-	if len(s.queue) > 0 && !s.transmitting {
+	s.contention.Stop()
+	if s.QueueLen() > 0 && !s.transmitting {
 		s.waiting = true
 		s.medium.enqueueWaiting(s)
 	}

@@ -155,18 +155,30 @@ func (f *Frame) WireSize() int {
 // Encode serialises the frame. It returns an error if list or payload
 // bounds are exceeded or the type is unknown.
 func (f *Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(nil)
+}
+
+// AppendEncode serialises the frame into dst (which may be nil or an
+// emptied reusable buffer) and returns the extended slice. The MAC's wire
+// buffers recycle through it, so steady-state transmissions encode without
+// allocating.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
 	switch f.Type {
 	case TypeData, TypeHello, TypeRequest, TypeResponse:
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrBadType, f.Type)
+		return dst, fmt.Errorf("%w: %d", ErrBadType, f.Type)
 	}
 	if f.listLen() > MaxListLen {
-		return nil, fmt.Errorf("%w: %d elements", ErrBadList, f.listLen())
+		return dst, fmt.Errorf("%w: %d elements", ErrBadList, f.listLen())
 	}
 	if len(f.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(f.Payload))
+		return dst, fmt.Errorf("%w: %d bytes", ErrBadPayload, len(f.Payload))
 	}
-	buf := make([]byte, 0, f.WireSize())
+	buf := dst
+	if buf == nil {
+		buf = make([]byte, 0, f.WireSize())
+	}
+	start := len(buf)
 	buf = append(buf, version, byte(f.Type))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(f.Src))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(f.Dst))
@@ -185,7 +197,7 @@ func (f *Frame) Encode() ([]byte, error) {
 		}
 	}
 	buf = append(buf, f.Payload...)
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 	return buf, nil
 }
 

@@ -79,8 +79,13 @@ type Channel struct {
 	shadowClampDB float64
 	fadeClampDB   float64
 	// noiseLin caches the noise floor in linear milliwatts; DecideFrame
-	// runs once per candidate receiver of every frame.
-	noiseLin float64
+	// runs once per candidate receiver of every frame. noiseOnlyDB caches
+	// 10*log10(noiseLin) — the interference-free SINR denominator, which
+	// is the overwhelmingly common case — computed once with the exact
+	// arithmetic DecideFrame would use, so the cached path is bit-
+	// identical to the uncached one.
+	noiseLin    float64
+	noiseOnlyDB float64
 	// lossDB is the path-loss model with its constants precomputed
 	// (bit-identical to cfg.PathLoss.LossDB).
 	lossDB func(d float64) float64
@@ -113,13 +118,15 @@ func NewChannel(cfg Config) (*Channel, error) {
 		fadeClamp = defaultFadeClampDB
 	}
 	shadowClamp := clampSigma * cfg.ShadowSigmaDB
+	noiseLin := math.Pow(10, cfg.NoiseFloorDBm/10)
 	return &Channel{
 		cfg:           cfg,
 		shadows:       newShadowField(cfg.ShadowSigmaDB, cfg.ShadowTau, cfg.Seed, shadowClamp),
 		fadeRNG:       sim.Stream(cfg.Seed, "fading"),
 		shadowClampDB: shadowClamp,
 		fadeClampDB:   fadeClamp,
-		noiseLin:      math.Pow(10, cfg.NoiseFloorDBm/10),
+		noiseLin:      noiseLin,
+		noiseOnlyDB:   10 * math.Log10(noiseLin),
 		lossDB:        fastLossFunc(cfg.PathLoss),
 	}, nil
 }
@@ -215,12 +222,14 @@ type FrameDecision struct {
 // deterministic coin.
 func (c *Channel) DecideFrame(meanRxDBm, interferenceDBm float64, mod Modulation, bytes int) FrameDecision {
 	rx := meanRxDBm + c.FadingSampleDB()
-	// Same arithmetic as SINRdB with the noise term precomputed.
-	intLin := 0.0
-	if !math.IsInf(interferenceDBm, -1) {
-		intLin = math.Pow(10, interferenceDBm/10)
+	// Same arithmetic as SINRdB with the noise term precomputed; the
+	// interference-free denominator comes from the noiseOnlyDB cache.
+	var sinr float64
+	if math.IsInf(interferenceDBm, -1) {
+		sinr = rx - c.noiseOnlyDB
+	} else {
+		sinr = rx - 10*math.Log10(c.noiseLin+math.Pow(10, interferenceDBm/10))
 	}
-	sinr := rx - 10*math.Log10(c.noiseLin+intLin)
 	per := mod.PER(sinr, bytes)
 	return FrameDecision{
 		RxPowerDBm: rx,

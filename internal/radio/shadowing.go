@@ -3,6 +3,7 @@ package radio
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/packet"
@@ -10,16 +11,29 @@ import (
 )
 
 // linkKey identifies an unordered station pair; shadowing is modelled as a
-// reciprocal channel property, so (a,b) and (b,a) share one process.
-type linkKey struct {
-	lo, hi packet.NodeID
-}
+// reciprocal channel property, so (a,b) and (b,a) share one process. The
+// two 16-bit NodeIDs pack into one uint32 so the per-sample map lookup
+// takes the runtime's fast integer-key path.
+type linkKey uint32
 
 func makeLinkKey(a, b packet.NodeID) linkKey {
 	if a > b {
 		a, b = b, a
 	}
-	return linkKey{lo: a, hi: b}
+	return linkKey(uint32(a)<<16 | uint32(b))
+}
+
+// lo and hi recover the ordered pair, for the per-link stream names.
+func (k linkKey) lo() packet.NodeID { return packet.NodeID(k >> 16) }
+func (k linkKey) hi() packet.NodeID { return packet.NodeID(k & 0xFFFF) }
+
+// appendNodeID appends id.String()'s bytes without going through fmt.
+func appendNodeID(dst []byte, id packet.NodeID) []byte {
+	if id == packet.Broadcast {
+		return append(dst, "bcast"...)
+	}
+	dst = append(dst, 'n')
+	return strconv.AppendUint(dst, uint64(id), 10)
 }
 
 // shadowProcess is a first-order autoregressive (Gauss-Markov) log-normal
@@ -108,8 +122,14 @@ func (f *shadowField) sample(a, b packet.NodeID, now time.Duration) float64 {
 	key := makeLinkKey(a, b)
 	p, ok := f.links[key]
 	if !ok {
-		name := "shadow-" + key.lo.String() + "-" + key.hi.String()
-		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, name), f.clampDB)
+		// Identical bytes to "shadow-" + lo.String() + "-" + hi.String(),
+		// assembled without fmt: links are created at city-scale rates.
+		var buf [32]byte
+		name := append(buf[:0], "shadow-"...)
+		name = appendNodeID(name, key.lo())
+		name = append(name, '-')
+		name = appendNodeID(name, key.hi())
+		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, string(name)), f.clampDB)
 		f.links[key] = p
 	}
 	return p.sample(now)

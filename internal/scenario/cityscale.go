@@ -31,6 +31,13 @@ type CityScaleConfig struct {
 	// Cars is the platoon size (the C-ARQ stations).
 	Cars int
 	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
 	// Background is the number of beacon-only vehicles sharing the grid;
 	// every one is a MAC station.
 	Background int
@@ -391,7 +398,7 @@ func CityScaleRound(cfg CityScaleConfig, round int) (*trace.Collector, *trace.Co
 	}
 
 	result, err := Run(Setup{
-		Seed:     roundSeed,
+		Seed:     sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel:  chCfg,
 		MAC:      macCfg,
 		APs:      aps,

@@ -20,9 +20,16 @@ import (
 // drives past AP1, cooperates in the gap, reaches AP2, and so on — the
 // full Reception -> Cooperative-ARQ -> Reception cycle, repeated.
 type CorridorConfig struct {
-	Rounds           int
-	Cars             int
-	Seed             int64
+	Rounds int
+	Cars   int
+	Seed   int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm              string
 	SpeedMPS         float64
 	HeadwayM         float64
 	PacketsPerSecond float64
@@ -196,7 +203,7 @@ func runCorridorRound(cfg CorridorConfig, round int, carIDs []packet.NodeID, roa
 	}
 
 	result, err := Run(Setup{
-		Seed:     roundSeed,
+		Seed:     sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel:  corridorChannel(),
 		MAC:      mac.DefaultConfig(),
 		APs:      aps,

@@ -21,8 +21,15 @@ import (
 // visits each car needs to assemble the complete file, with and without
 // cooperation.
 type DownloadConfig struct {
-	Cars             int
-	Seed             int64
+	Cars int
+	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm              string
 	SpeedMPS         float64
 	HeadwayM         float64
 	PacketsPerSecond float64
@@ -118,7 +125,7 @@ func RunDownload(cfg DownloadConfig) (*DownloadResult, error) {
 	done := make(map[packet.NodeID]doneMark, cfg.Cars)
 
 	result, err := Run(Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: testbedChannel(),
 		MAC:     mac.DefaultConfig(),
 		APs: []APSpec{{

@@ -19,9 +19,16 @@ import (
 // highway at speed. Sweeping SpeedMPS reproduces the loss-versus-speed
 // relationship; enabling Coop shows how much of each pass C-ARQ recovers.
 type HighwayConfig struct {
-	Rounds           int
-	Cars             int
-	Seed             int64
+	Rounds int
+	Cars   int
+	Seed   int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm              string
 	SpeedMPS         float64 // e.g. 8.3 (30 km/h) .. 33.3 (120 km/h)
 	HeadwayM         float64
 	PacketsPerSecond float64
@@ -173,7 +180,7 @@ func runHighwayRound(cfg HighwayConfig, round int, carIDs []packet.NodeID) (*tra
 	}
 
 	result, err := Run(Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: chCfg,
 		MAC:     macCfg,
 		APs: []APSpec{{

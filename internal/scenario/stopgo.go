@@ -26,6 +26,13 @@ type StopGoConfig struct {
 	// ring is radio-silent background traffic.
 	Cars int
 	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
 	// Vehicles is the total ring population including the platoon.
 	Vehicles int
 	// RingM is the ring circumference.
@@ -231,7 +238,7 @@ func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collecto
 	}
 
 	result, err := Run(Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: chCfg,
 		MAC:     macCfg,
 		APs: []APSpec{{

@@ -28,6 +28,13 @@ type TestbedConfig struct {
 	Cars int
 	// Seed roots all randomness; each round derives its own streams.
 	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
 	// SpeedMPS is the platoon's base speed (the paper's ~20 km/h).
 	SpeedMPS float64
 	// HeadwayM is the nominal inter-car gap (0: default 40 m).
@@ -372,7 +379,7 @@ func runTestbedRound(cfg TestbedConfig, round int, carIDs []packet.NodeID) (*tra
 	}
 
 	result, err := Run(Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: chCfg,
 		MAC:     macCfg,
 		APs: []APSpec{{

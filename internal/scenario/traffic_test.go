@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"os"
 	"testing"
 	"time"
 
@@ -207,5 +208,109 @@ func TestTrafficConfigValidation(t *testing.T) {
 	sg.Vehicles = 1000
 	if _, err := sg.Normalized(); err == nil {
 		t.Fatal("bumper-locked ring accepted")
+	}
+}
+
+// resetTrafficCache empties the in-memory tier so a later round is forced
+// through whatever lower tier (the on-disk store) is installed.
+func resetTrafficCache() {
+	trafficCache.mu.Lock()
+	trafficCache.m = make(map[string]*trafficTraceEntry)
+	trafficCache.mu.Unlock()
+}
+
+// TestTrafficStoreServesByteIdenticalRounds is the precomputed-trace
+// serving acceptance test: a round whose traffic world is loaded from the
+// on-disk store must emit exactly the protocol trace of the round that
+// computed the world, and the store must actually have been populated.
+func TestTrafficStoreServesByteIdenticalRounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	dir := t.TempDir()
+	if err := SetTrafficTraceStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = SetTrafficTraceStore("")
+		resetTrafficCache()
+	}()
+	resetTrafficCache()
+
+	cfg := quickTrafficGrid()
+	cfg.Replay = true
+	colComputed, streamComputed, err := TrafficGridRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh in-memory cache forces the next identical round through the
+	// disk tier, as a separate sweep process would be.
+	resetTrafficCache()
+	colLoaded, streamLoaded, err := TrafficGridRound(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, colComputed), traceBytes(t, colLoaded)) {
+		t.Fatal("disk-served round's protocol trace differs from the computed round's")
+	}
+	if !bytes.Equal(traceBytes(t, streamComputed), traceBytes(t, streamLoaded)) {
+		t.Fatal("disk-served traffic stream differs from the computed one")
+	}
+
+	// The store must hold exactly the computed world's file.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("store holds %d files, want 1", len(ents))
+	}
+}
+
+// TestArmForksProtocolRandomnessNotTraffic pins the per-arm RNG split:
+// two arms of one sweep must share the cached traffic world (pointer
+// equality through the cache) yet see different channel randomness, while
+// an empty arm reproduces the unforked byte stream.
+func TestArmForksProtocolRandomnessNotTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	base := quickTrafficGrid()
+	base.Replay = true
+
+	unforked, streamA, err := TrafficGridRound(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _, err := TrafficGridRound(base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(traceBytes(t, unforked), traceBytes(t, again)) {
+		t.Fatal("empty arm is not reproducible")
+	}
+
+	armed := base
+	armed.Arm = "coop"
+	forked, streamB, err := TrafficGridRound(armed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamA != streamB {
+		t.Fatal("arms did not share the cached traffic stream")
+	}
+	if bytes.Equal(traceBytes(t, unforked), traceBytes(t, forked)) {
+		t.Fatal("arm fork did not change the channel/protocol randomness")
+	}
+
+	other := base
+	other.Arm = "nocoop"
+	forked2, _, err := TrafficGridRound(other, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(traceBytes(t, forked), traceBytes(t, forked2)) {
+		t.Fatal("two distinct arms drew identical randomness")
 	}
 }

@@ -26,6 +26,13 @@ type TrafficGridConfig struct {
 	// Cars is the platoon size (the C-ARQ stations).
 	Cars int
 	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
 	// Background is the number of radio-silent vehicles sharing the
 	// grid.
 	Background int
@@ -289,7 +296,7 @@ func TrafficGridRound(cfg TrafficGridConfig, round int) (*trace.Collector, *trac
 	}
 
 	result, err := Run(Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: chCfg,
 		MAC:     macCfg,
 		APs: []APSpec{{

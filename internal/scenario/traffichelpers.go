@@ -36,8 +36,35 @@ const capTrafficCacheEntries = 64
 
 var trafficCache = &trafficTraceCache{m: make(map[string]*trafficTraceEntry)}
 
+// trafficStore, when non-nil, is the on-disk tier below the in-memory
+// cache: misses try a load before computing, and computed streams are
+// saved for later processes. Guarded by trafficCache.mu.
+var trafficStore *traffic.Store
+
+// SetTrafficTraceStore installs (dir != "") or removes (dir == "") the
+// on-disk precomputed-trace store consulted by every traffic scenario's
+// record-once-replay-many path. Streams already memoised in this process
+// are unaffected. Sweeps pointed at a shared directory compute each
+// traffic world exactly once across processes and serve every later arm
+// from disk; loads are byte-identical to an in-process recording (see the
+// store round-trip tests).
+func SetTrafficTraceStore(dir string) error {
+	var st *traffic.Store
+	if dir != "" {
+		var err error
+		if st, err = traffic.NewStore(dir); err != nil {
+			return err
+		}
+	}
+	trafficCache.mu.Lock()
+	trafficStore = st
+	trafficCache.mu.Unlock()
+	return nil
+}
+
 func (c *trafficTraceCache) get(key string, compute func() (*trace.Collector, error)) (*trace.Collector, error) {
 	c.mu.Lock()
+	store := trafficStore
 	e, ok := c.m[key]
 	if !ok {
 		if len(c.m) >= capTrafficCacheEntries {
@@ -47,7 +74,22 @@ func (c *trafficTraceCache) get(key string, compute func() (*trace.Collector, er
 		c.m[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.col, e.err = compute() })
+	e.once.Do(func() {
+		if store != nil {
+			// A load error means an unusable file (corrupt, truncated,
+			// foreign schema): recompute and overwrite it.
+			if col, err := store.Load(key); err == nil && col != nil {
+				e.col = col
+				return
+			}
+		}
+		e.col, e.err = compute()
+		if e.err == nil && store != nil {
+			// Best effort: a read-only or full disk must not fail the
+			// sweep, only disable its cross-process reuse.
+			_ = store.Save(key, e.col)
+		}
+	})
 	return e.col, e.err
 }
 

@@ -35,6 +35,13 @@ type TwoWayConfig struct {
 	// isolates the platoon-only baseline.
 	RelayCars int
 	Seed      int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
 	// SpeedMPS is the platoon speed; RelaySpeedMPS the relay traffic's.
 	SpeedMPS      float64
 	RelaySpeedMPS float64
@@ -296,7 +303,7 @@ func twoWaySetup(cfg TwoWayConfig, round int, carIDs []packet.NodeID) (Setup, er
 		cfg.PayloadBytes, 1, 0, apStop)
 	apCfg.CycleLength = cfg.CycleBlocks
 	return Setup{
-		Seed:    roundSeed,
+		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
 		Channel: chCfg,
 		MAC:     macCfg,
 		APs: []APSpec{{

@@ -29,6 +29,10 @@ type Engine struct {
 	// pop path discards them lazily). Pending subtracts it so callers
 	// see only live work.
 	cancelledQueued int
+	// free is the pooled-event free list. Pooled events recycle through
+	// it as they pop, so steady-state hot paths (MAC transmission ends,
+	// AP ticks, protocol timers) schedule without allocating.
+	free *Event
 }
 
 // New returns an Engine with the clock at zero and an empty queue.
@@ -73,6 +77,47 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleCall arranges for fn(arg) to run after delay, like Schedule, but
+// through a pooled event: after warm-up no Event is allocated, and because
+// fn is a plain function taking the context through arg, hot paths avoid
+// the per-call closure allocation too (boxing a pointer-typed arg into the
+// any is allocation-free). The event cannot be cancelled — use a Timer for
+// cancellable pooled scheduling.
+func (e *Engine) ScheduleCall(delay time.Duration, fn func(any), arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.scheduleCallAt(e.now+delay, fn, arg)
+}
+
+// scheduleCallAt is the pooled twin of ScheduleAt. It returns the event so
+// Timer can track (and cancel) it; the event must never escape further.
+func (e *Engine) scheduleCallAt(t time.Duration, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: ScheduleCall with nil callback")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleCall(%v) before now (%v)", t, e.now))
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		*ev = Event{}
+	} else {
+		ev = &Event{}
+	}
+	ev.at, ev.seq, ev.callFn, ev.arg, ev.pooled, ev.eng = t, e.seq, fn, arg, true, e
+	e.seq++
+	e.queue.Push(ev)
+	return ev
+}
+
+// recycle returns a popped pooled event to the free list.
+func (e *Engine) recycle(ev *Event) {
+	*ev = Event{next: e.free}
+	e.free = ev
+}
+
 // Stop requests that Run return after the currently executing event. It is
 // safe to call from inside an event callback.
 func (e *Engine) Stop() { e.stopReq = true }
@@ -87,13 +132,26 @@ func (e *Engine) Step() bool {
 		}
 		if ev.cancelled {
 			e.cancelledQueued--
+			if ev.pooled {
+				e.recycle(ev)
+			}
 			continue
 		}
 		e.now = ev.at
 		ev.fired = true
+		e.processed++
+		if ev.pooled {
+			fn, arg := ev.callFn, ev.arg
+			// Recycle before the callback runs: the only live reference
+			// at this point is ours (Timers drop theirs via timerFire,
+			// which is the callback itself), and recycling first lets the
+			// callback's own ScheduleCall reuse the slot immediately.
+			e.recycle(ev)
+			fn(arg)
+			return true
+		}
 		fn := ev.fn
 		ev.fn = nil
-		e.processed++
 		fn()
 		return true
 	}

@@ -13,11 +13,22 @@ import "time"
 // caller can cancel it before it fires. The zero value is not useful; events
 // are created by an Engine.
 type Event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// callFn/arg are the pooled-event form of fn: callFn(arg) runs with no
+	// closure allocation. Exactly one of fn and callFn is set.
+	callFn    func(any)
+	arg       any
 	cancelled bool
 	fired     bool
+	// pooled events are engine-owned: they are never handed to callers
+	// (except through a Timer, which relinquishes its reference before the
+	// event is recycled), so the engine returns them to its free list as
+	// soon as they pop.
+	pooled bool
+	// next links the engine's free list.
+	next *Event
 	// eng is the owning engine; Cancel tells it so Pending can exclude
 	// cancelled events that are still physically in the queue.
 	eng *Engine
@@ -35,6 +46,8 @@ func (ev *Event) Cancel() bool {
 	}
 	ev.cancelled = true
 	ev.fn = nil
+	ev.callFn = nil
+	ev.arg = nil
 	if ev.eng != nil {
 		ev.eng.cancelledQueued++
 	}
@@ -55,4 +68,9 @@ type Context interface {
 	// Schedule arranges for fn to run after delay. A negative delay is
 	// treated as zero. The returned event may be cancelled.
 	Schedule(delay time.Duration, fn func()) *Event
+	// ScheduleCall is the pooled, non-cancellable form of Schedule: fn(arg)
+	// runs after delay with no per-call Event or closure allocation.
+	ScheduleCall(delay time.Duration, fn func(any), arg any)
+	// NewTimer returns an idle reusable timer running fn on expiry.
+	NewTimer(fn func()) *Timer
 }

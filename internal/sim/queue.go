@@ -1,12 +1,15 @@
 package sim
 
-// eventQueue is a binary min-heap of events ordered by (time, sequence).
+// eventQueue is a 4-ary min-heap of events ordered by (time, sequence).
 // The sequence number breaks ties so that events scheduled for the same
-// instant fire in scheduling order, which keeps runs deterministic.
+// instant fire in scheduling order, which keeps runs deterministic; the
+// (time, sequence) order is strict and total, so the heap's arity and
+// internal layout can never change the pop order.
 //
 // The heap is implemented directly rather than through container/heap to
-// avoid the interface boxing on every push/pop; the kernel is the hottest
-// path in the whole simulator.
+// avoid the interface boxing on every push/pop, and 4-ary rather than
+// binary because the shallower tree does fewer comparisons per sift-down —
+// the kernel is the hottest path in the whole simulator.
 type eventQueue struct {
 	items []*Event
 }
@@ -53,7 +56,7 @@ func (q *eventQueue) Peek() *Event {
 
 func (q *eventQueue) up(i int) {
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !q.less(i, parent) {
 			return
 		}
@@ -65,13 +68,19 @@ func (q *eventQueue) up(i int) {
 func (q *eventQueue) down(i int) {
 	n := len(q.items)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			return
 		}
-		smallest := left
-		if right := left + 1; right < n && q.less(right, left) {
-			smallest = right
+		smallest := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if !q.less(smallest, i) {
 			return

@@ -52,6 +52,20 @@ func SubStream(r *rand.Rand, name string) *rand.Rand {
 	return Stream(int64(r.Uint64()), name)
 }
 
+// ArmSeed forks a round's seed by sweep-arm name. Parameter sweeps derive
+// each arm's channel and protocol randomness from ArmSeed(roundSeed, arm),
+// so arms stop sharing one fading/shadowing realization while the
+// expensive world state (mobility, traffic) stays keyed by the unforked
+// round seed and remains shared across arms. The empty arm returns the
+// seed unchanged, which keeps single-arm runs and the equivalence-test
+// byte streams exactly as they were.
+func ArmSeed(seed int64, arm string) int64 {
+	if arm == "" {
+		return seed
+	}
+	return SeedFor(seed, "arm|"+arm)
+}
+
 // SeedFor derives a deterministic child seed from a root seed and a name:
 // the first draw of the named stream. Scenario rounds and harness work
 // units use it so that a unit's randomness depends only on its identity,

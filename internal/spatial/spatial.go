@@ -5,10 +5,15 @@
 // NodeIDs) without conversions.
 //
 // The grid is the cheap O(1)-per-query structure for "who is near this
-// point" at any population size. Consumers rebuild it wholesale (Reset or
-// Reindex + Insert are allocation-free after warm-up) whenever their
-// positions move. Iteration order is deterministic: cells scan row-major,
-// entries in insertion order.
+// point" at any population size. Consumers either rebuild it wholesale
+// (Reset or Reindex + Insert are allocation-free after warm-up) whenever
+// their positions move, or maintain it incrementally: InsertRef returns a
+// stable handle and MoveRef relocates one entry in O(1) — when the entry
+// stays in its cell (the common case for sub-cell motion between
+// refreshes) the move is a bare position store. Iteration order is
+// deterministic: cells scan row-major, entries in insertion order (an
+// entry removed or moved out of a cell swaps the cell's last entry into
+// its place).
 package spatial
 
 import (
@@ -24,13 +29,33 @@ type Entry[ID any] struct {
 	P  geom.Point
 }
 
+// Ref is a stable handle to one indexed point, valid until the entry is
+// removed or the grid is Reset/Reindexed. Incremental consumers keep the
+// Ref returned by InsertRef and feed position updates through MoveRef.
+type Ref int32
+
+// gridEntry is the stored form of an entry: the public Entry plus its
+// location in the cell table, so MoveRef and RemoveRef are O(1).
+type gridEntry[ID any] struct {
+	e Entry[ID]
+	// cell is the owning cell index, or -1 for free slots.
+	cell int32
+	// slot is the entry's index within cells[cell].
+	slot int32
+}
+
 // Grid is a uniform spatial hash over a bounding geom.Rect.
 type Grid[ID any] struct {
 	bounds     geom.Rect
 	cellM      float64
 	cols, rows int
-	cells      [][]Entry[ID]
-	count      int
+	// cells[c] lists the entry slots stored in cell c.
+	cells [][]int32
+	// entries is the stable entry arena Refs point into.
+	entries []gridEntry[ID]
+	// free lists recycled entry slots.
+	free  []int32
+	count int
 }
 
 // NewGrid builds an empty index over bounds with the given cell size.
@@ -45,7 +70,7 @@ func NewGrid[ID any](bounds geom.Rect, cellM float64) (*Grid[ID], error) {
 // Reindex empties the grid and re-bounds it, reusing cell storage when the
 // new geometry needs no more cells than the old. Dynamic consumers (the
 // radio medium, whose stations roam an a-priori unknown area) call it on
-// every rebuild.
+// every full rebuild. All Refs are invalidated.
 func (g *Grid[ID]) Reindex(bounds geom.Rect, cellM float64) error {
 	if cellM <= 0 {
 		return fmt.Errorf("spatial: grid cell %v", cellM)
@@ -63,9 +88,10 @@ func (g *Grid[ID]) Reindex(bounds geom.Rect, cellM float64) error {
 			g.cells[i] = g.cells[i][:0]
 		}
 	} else {
-		g.cells = make([][]Entry[ID], need)
+		g.cells = make([][]int32, need)
 	}
-	g.bounds, g.cellM, g.cols, g.rows, g.count = bounds, cellM, cols, rows, 0
+	g.bounds, g.cellM, g.cols, g.rows = bounds, cellM, cols, rows
+	g.entries, g.free, g.count = g.entries[:0], g.free[:0], 0
 	return nil
 }
 
@@ -75,31 +101,102 @@ func (g *Grid[ID]) Len() int { return g.count }
 // Bounds returns the indexed area.
 func (g *Grid[ID]) Bounds() geom.Rect { return g.bounds }
 
+// Contains reports whether p lies inside the indexed bounds. Points
+// outside still index correctly (they clamp into edge cells), but an
+// incremental consumer should treat an escape as its cue to rebuild over
+// wider bounds before edge cells congest.
+func (g *Grid[ID]) Contains(p geom.Point) bool {
+	return p.X >= g.bounds.MinX && p.X <= g.bounds.MaxX &&
+		p.Y >= g.bounds.MinY && p.Y <= g.bounds.MaxY
+}
+
 // Reset empties the index, keeping bounds and cell capacity for reuse.
+// All Refs are invalidated.
 func (g *Grid[ID]) Reset() {
 	for i := range g.cells {
 		g.cells[i] = g.cells[i][:0]
 	}
-	g.count = 0
+	g.entries, g.free, g.count = g.entries[:0], g.free[:0], 0
 }
 
 // cellAt clamps p into the grid and returns its cell index.
-func (g *Grid[ID]) cellAt(p geom.Point) int {
+func (g *Grid[ID]) cellAt(p geom.Point) int32 {
 	cx := int((p.X - g.bounds.MinX) / g.cellM)
 	cy := int((p.Y - g.bounds.MinY) / g.cellM)
 	cx = clampInt(cx, 0, g.cols-1)
 	cy = clampInt(cy, 0, g.rows-1)
-	return cy*g.cols + cx
+	return int32(cy*g.cols + cx)
 }
 
 // Insert adds one point. Points outside the bounds clamp into the edge
 // cells, so queries near the boundary still find them (the stored position
 // stays exact; only the owning cell is clamped).
 func (g *Grid[ID]) Insert(id ID, p geom.Point) {
-	i := g.cellAt(p)
-	g.cells[i] = append(g.cells[i], Entry[ID]{ID: id, P: p})
-	g.count++
+	g.InsertRef(id, p)
 }
+
+// InsertRef is Insert returning a stable handle for incremental updates.
+func (g *Grid[ID]) InsertRef(id ID, p geom.Point) Ref {
+	var i int32
+	if n := len(g.free); n > 0 {
+		i = g.free[n-1]
+		g.free = g.free[:n-1]
+	} else {
+		g.entries = append(g.entries, gridEntry[ID]{})
+		i = int32(len(g.entries) - 1)
+	}
+	c := g.cellAt(p)
+	g.entries[i] = gridEntry[ID]{
+		e:    Entry[ID]{ID: id, P: p},
+		cell: c,
+		slot: int32(len(g.cells[c])),
+	}
+	g.cells[c] = append(g.cells[c], i)
+	g.count++
+	return Ref(i)
+}
+
+// MoveRef updates one entry's position. When the new position maps to the
+// entry's current cell the move is a single store; otherwise the entry
+// relinks into its new cell (the vacated slot is filled by the cell's last
+// entry).
+func (g *Grid[ID]) MoveRef(r Ref, p geom.Point) {
+	ent := &g.entries[r]
+	c := g.cellAt(p)
+	ent.e.P = p
+	if c == ent.cell {
+		return
+	}
+	g.unlink(int32(r), ent)
+	ent.cell, ent.slot = c, int32(len(g.cells[c]))
+	g.cells[c] = append(g.cells[c], int32(r))
+}
+
+// RemoveRef deletes one entry; the Ref (and any Ref obtained for the same
+// entry) must not be used afterwards.
+func (g *Grid[ID]) RemoveRef(r Ref) {
+	ent := &g.entries[r]
+	g.unlink(int32(r), ent)
+	ent.cell = -1
+	g.free = append(g.free, int32(r))
+	g.count--
+}
+
+// unlink removes entry i from its cell's slot list, swapping the cell's
+// last entry into the vacated slot.
+func (g *Grid[ID]) unlink(i int32, ent *gridEntry[ID]) {
+	list := g.cells[ent.cell]
+	last := int32(len(list) - 1)
+	if ent.slot != last {
+		moved := list[last]
+		list[ent.slot] = moved
+		g.entries[moved].slot = ent.slot
+	}
+	g.cells[ent.cell] = list[:last]
+}
+
+// At returns the entry behind a live Ref.
+func (g *Grid[ID]) At(r Ref) Entry[ID] { return g.entries[r].e }
 
 // Near visits every indexed point within radiusM of p, in deterministic
 // cell-scan order. The visitor returns false to stop early. An infinite
@@ -119,7 +216,8 @@ func (g *Grid[ID]) Near(p geom.Point, radiusM float64, visit func(Entry[ID]) boo
 	}
 	for cy := minCY; cy <= maxCY; cy++ {
 		for cx := minCX; cx <= maxCX; cx++ {
-			for _, e := range g.cells[cy*g.cols+cx] {
+			for _, i := range g.cells[cy*g.cols+cx] {
+				e := g.entries[i].e
 				dx, dy := e.P.X-p.X, e.P.Y-p.Y
 				if dx*dx+dy*dy <= r2 {
 					if !visit(e) {
@@ -129,6 +227,39 @@ func (g *Grid[ID]) Near(p geom.Point, radiusM float64, visit func(Entry[ID]) boo
 			}
 		}
 	}
+}
+
+// IDsWithin appends the ID of every indexed point within radiusM of p to
+// dst and returns the extended slice, in the same deterministic order Near
+// visits. It is the allocation-free form of Near for consumers that only
+// want the IDs — the radio medium's delivery path calls it once per
+// transmission, where the visitor-closure indirection is measurable.
+func (g *Grid[ID]) IDsWithin(p geom.Point, radiusM float64, dst []ID) []ID {
+	if radiusM < 0 {
+		return dst
+	}
+	minCX, maxCX, minCY, maxCY := 0, g.cols-1, 0, g.rows-1
+	r2 := math.Inf(1)
+	if !math.IsInf(radiusM, 1) {
+		minCX = clampInt(int((p.X-radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+		maxCX = clampInt(int((p.X+radiusM-g.bounds.MinX)/g.cellM), 0, g.cols-1)
+		minCY = clampInt(int((p.Y-radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+		maxCY = clampInt(int((p.Y+radiusM-g.bounds.MinY)/g.cellM), 0, g.rows-1)
+		r2 = radiusM * radiusM
+	}
+	for cy := minCY; cy <= maxCY; cy++ {
+		row := g.cells[cy*g.cols+minCX : cy*g.cols+maxCX+1]
+		for _, cell := range row {
+			for _, i := range cell {
+				e := &g.entries[i]
+				dx, dy := e.e.P.X-p.X, e.e.P.Y-p.Y
+				if dx*dx+dy*dy <= r2 {
+					dst = append(dst, e.e.ID)
+				}
+			}
+		}
+	}
+	return dst
 }
 
 // CountWithin returns how many indexed points lie within radiusM of p.

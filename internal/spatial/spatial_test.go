@@ -2,6 +2,7 @@ package spatial
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/geom"
@@ -148,5 +149,148 @@ func TestGridRejectsBadConfig(t *testing.T) {
 	g := testGrid(t)
 	if err := g.Reindex(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, -1); err == nil {
 		t.Fatal("negative cell accepted on reindex")
+	}
+}
+
+func TestGridMoveRefWithinCell(t *testing.T) {
+	g := testGrid(t)
+	r := g.InsertRef(1, geom.Point{X: 51, Y: 51})
+	g.MoveRef(r, geom.Point{X: 53, Y: 52}) // same 10 m cell
+	if e := g.At(r); e.P.X != 53 || e.P.Y != 52 {
+		t.Fatalf("stored position %+v after in-cell move", e.P)
+	}
+	if n := g.CountWithin(geom.Point{X: 53, Y: 52}, 1); n != 1 {
+		t.Fatalf("moved entry found %d times", n)
+	}
+}
+
+func TestGridMoveRefAcrossCells(t *testing.T) {
+	g := testGrid(t)
+	r := g.InsertRef(1, geom.Point{X: 5, Y: 5})
+	g.MoveRef(r, geom.Point{X: 95, Y: 95})
+	if n := g.CountWithin(geom.Point{X: 5, Y: 5}, 3); n != 0 {
+		t.Fatalf("entry still at the old cell: %d", n)
+	}
+	if n := g.CountWithin(geom.Point{X: 95, Y: 95}, 3); n != 1 {
+		t.Fatalf("entry not at the new cell: %d", n)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d after move", g.Len())
+	}
+}
+
+func TestGridRemoveRef(t *testing.T) {
+	g := testGrid(t)
+	// Three entries in one cell exercise the swap-remove slot fixups.
+	a := g.InsertRef(1, geom.Point{X: 51, Y: 51})
+	b := g.InsertRef(2, geom.Point{X: 52, Y: 52})
+	c := g.InsertRef(3, geom.Point{X: 53, Y: 53})
+	g.RemoveRef(a) // c swaps into a's slot
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d after remove", g.Len())
+	}
+	g.MoveRef(c, geom.Point{X: 5, Y: 5}) // must unlink via its fixed-up slot
+	if n := g.CountWithin(geom.Point{X: 5, Y: 5}, 2); n != 1 {
+		t.Fatalf("entry c lost after slot fixup: %d", n)
+	}
+	if n := g.CountWithin(geom.Point{X: 52, Y: 52}, 1); n != 1 {
+		t.Fatalf("entry b lost: %d", n)
+	}
+	// The freed slot recycles.
+	d := g.InsertRef(4, geom.Point{X: 60, Y: 60})
+	if d != a {
+		t.Fatalf("freed slot not recycled: got ref %d, want %d", d, a)
+	}
+	_ = b
+}
+
+func TestGridContains(t *testing.T) {
+	g := testGrid(t)
+	if !g.Contains(geom.Point{X: 50, Y: 50}) {
+		t.Fatal("interior point reported outside")
+	}
+	if g.Contains(geom.Point{X: 150, Y: 50}) {
+		t.Fatal("exterior point reported inside")
+	}
+}
+
+// TestGridIncrementalMatchesRebuilt drives random insert/move/remove
+// traffic through one grid maintained incrementally and checks, after
+// every batch, that its query results match a grid rebuilt from scratch —
+// the oracle behind the radio medium's incremental index maintenance.
+func TestGridIncrementalMatchesRebuilt(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 1000}
+	inc, err := NewGrid[int](bounds, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	pt := func() geom.Point {
+		return geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+	}
+	type ent struct {
+		ref Ref
+		p   geom.Point
+	}
+	live := map[int]*ent{}
+	nextID := 0
+	for batch := 0; batch < 40; batch++ {
+		for op := 0; op < 30; op++ {
+			switch {
+			case len(live) == 0 || rng.Intn(4) == 0: // insert
+				p := pt()
+				live[nextID] = &ent{ref: inc.InsertRef(nextID, p), p: p}
+				nextID++
+			case rng.Intn(5) == 0: // remove
+				for id, e := range live {
+					inc.RemoveRef(e.ref)
+					delete(live, id)
+					break
+				}
+			default: // move: mostly small drifts, sometimes a jump
+				for _, e := range live {
+					var p geom.Point
+					if rng.Intn(8) == 0 {
+						p = pt()
+					} else {
+						p = geom.Point{X: e.p.X + rng.NormFloat64()*10, Y: e.p.Y + rng.NormFloat64()*10}
+					}
+					inc.MoveRef(e.ref, p)
+					e.p = p
+					break
+				}
+			}
+		}
+		rebuilt, err := NewGrid[int](bounds, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, e := range live {
+			rebuilt.Insert(id, e.p)
+		}
+		if inc.Len() != rebuilt.Len() {
+			t.Fatalf("batch %d: Len %d vs rebuilt %d", batch, inc.Len(), rebuilt.Len())
+		}
+		for q := 0; q < 20; q++ {
+			center, radius := pt(), rng.Float64()*200
+			want := map[int]geom.Point{}
+			rebuilt.Near(center, radius, func(e Entry[int]) bool {
+				want[e.ID] = e.P
+				return true
+			})
+			got := map[int]geom.Point{}
+			inc.Near(center, radius, func(e Entry[int]) bool {
+				got[e.ID] = e.P
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("batch %d query %d: %d hits vs rebuilt %d", batch, q, len(got), len(want))
+			}
+			for id, p := range want {
+				if gp, ok := got[id]; !ok || gp != p {
+					t.Fatalf("batch %d query %d: entry %d: got %v ok=%v want %v", batch, q, id, gp, ok, p)
+				}
+			}
+		}
 	}
 }

@@ -21,43 +21,57 @@ type line struct {
 
 // WriteJSONL streams every record as one JSON object per line, in record-
 // category order (tx, rx, drops, phases, recoveries, completions); each
-// category is chronological.
+// category is chronological. One line record is reused across the whole
+// stream (the encoder sees a pointer), so writing allocates per category,
+// not per record — city-scale traffic streams hold hundreds of thousands.
 func (c *Collector) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	emit := func(l line) error { return enc.Encode(l) }
+	var l line
+	emit := func() error {
+		err := enc.Encode(&l)
+		l = line{}
+		return err
+	}
 	for i := range c.Tx {
-		if err := emit(line{Kind: "tx", Tx: &c.Tx[i]}); err != nil {
+		l.Kind, l.Tx = "tx", &c.Tx[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write tx: %w", err)
 		}
 	}
 	for i := range c.Rx {
-		if err := emit(line{Kind: "rx", Rx: &c.Rx[i]}); err != nil {
+		l.Kind, l.Rx = "rx", &c.Rx[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write rx: %w", err)
 		}
 	}
 	for i := range c.Drops {
-		if err := emit(line{Kind: "drop", Drop: &c.Drops[i]}); err != nil {
+		l.Kind, l.Drop = "drop", &c.Drops[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write drop: %w", err)
 		}
 	}
 	for i := range c.Phases {
-		if err := emit(line{Kind: "phase", Phase: &c.Phases[i]}); err != nil {
+		l.Kind, l.Phase = "phase", &c.Phases[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write phase: %w", err)
 		}
 	}
 	for i := range c.Recovered {
-		if err := emit(line{Kind: "recovered", Recovered: &c.Recovered[i]}); err != nil {
+		l.Kind, l.Recovered = "recovered", &c.Recovered[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write recovery: %w", err)
 		}
 	}
 	for i := range c.Completed {
-		if err := emit(line{Kind: "completed", Completed: &c.Completed[i]}); err != nil {
+		l.Kind, l.Completed = "completed", &c.Completed[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write completion: %w", err)
 		}
 	}
 	for i := range c.Vehicles {
-		if err := emit(line{Kind: "veh", Vehicle: &c.Vehicles[i]}); err != nil {
+		l.Kind, l.Vehicle = "veh", &c.Vehicles[i]
+		if err := emit(); err != nil {
 			return fmt.Errorf("trace: write vehicle: %w", err)
 		}
 	}

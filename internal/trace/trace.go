@@ -146,6 +146,19 @@ func (c *Collector) OnComplete(id packet.NodeID, at time.Duration) {
 	c.Completed = append(c.Completed, CompleteRecord{At: at, Node: id})
 }
 
+// Reset empties the collector for reuse, keeping every record slice's
+// capacity, so a sweep harness can run many rounds through one collector
+// without re-growing the buffers each time.
+func (c *Collector) Reset() {
+	c.Tx = c.Tx[:0]
+	c.Rx = c.Rx[:0]
+	c.Drops = c.Drops[:0]
+	c.Phases = c.Phases[:0]
+	c.Recovered = c.Recovered[:0]
+	c.Completed = c.Completed[:0]
+	c.Vehicles = c.Vehicles[:0]
+}
+
 // OnVehicle records one traffic state sample. Samples must be appended in
 // chronological order per vehicle; VehicleSeries relies on it.
 func (c *Collector) OnVehicle(r VehicleRecord) {

@@ -210,3 +210,27 @@ func TestSortU32(t *testing.T) {
 		t.Fatalf("sortU32 = %v", xs)
 	}
 }
+
+// TestCollectorReset: Reset must empty every record category while
+// keeping the backing capacity for reuse.
+func TestCollectorReset(t *testing.T) {
+	c := &Collector{}
+	c.OnTx(1, &packet.Frame{Type: packet.TypeData, Src: 1, Dst: 2, Flow: 2, Seq: 7}, time.Second, time.Millisecond)
+	c.OnRx(2, &packet.Frame{Type: packet.TypeData, Src: 1, Dst: 2, Flow: 2, Seq: 7}, mac.RxMeta{At: time.Second})
+	c.OnDrop(3, &packet.Frame{Type: packet.TypeData, Src: 1, Flow: 2, Seq: 8}, time.Second, mac.DropChannel)
+	c.OnPhaseChange(2, carq.PhaseIdle, carq.PhaseReception, time.Second)
+	c.OnRecovered(2, 8, 3, 2*time.Second)
+	c.OnComplete(2, 3*time.Second)
+	c.OnVehicle(VehicleRecord{At: time.Second, Veh: 4})
+	if n := c.Counts(); n.Tx+n.Rx+n.Drops+n.Phases+n.Recovered+n.Completed+n.Vehicles != 7 {
+		t.Fatalf("counts before reset = %+v", n)
+	}
+	capTx := cap(c.Tx)
+	c.Reset()
+	if n := c.Counts(); n != (Counts{}) {
+		t.Fatalf("counts after reset = %+v", n)
+	}
+	if cap(c.Tx) != capTx {
+		t.Fatalf("Reset dropped capacity: %d -> %d", capTx, cap(c.Tx))
+	}
+}

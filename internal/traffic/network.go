@@ -54,18 +54,14 @@ func (l *Link) Loops() bool { return l.loops }
 // centreline point at arc, offset half a lane plus lane widths to the
 // right of the direction of travel.
 func (l *Link) LanePoint(lane int, arc float64) geom.Point {
-	var p geom.Point
 	if l.loops {
-		p = l.Centre.AtLooped(arc)
 		total := l.Length()
 		arc = math.Mod(arc, total)
 		if arc < 0 {
 			arc += total
 		}
-	} else {
-		p = l.Centre.At(arc)
 	}
-	h := l.Centre.Heading(arc)
+	p, h := l.Centre.PointHeading(arc)
 	right := geom.Vec{DX: h.DY, DY: -h.DX}
 	off := (float64(lane) + 0.5) * l.LaneWidthM
 	return p.Add(right.Scale(off))

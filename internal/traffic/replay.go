@@ -68,14 +68,19 @@ func (r *Replay) VehicleIDs() []int {
 	return append([]int(nil), r.ids...)
 }
 
-// Model returns the mobility model of one replayed vehicle.
+// Model returns the mobility model of one replayed vehicle. The model
+// keeps a private sample cursor (see Simulation.Model); do not share one
+// model across concurrently running engines.
 func (r *Replay) Model(id int) (mobility.Model, error) {
 	track, ok := r.tracks[id]
 	if !ok {
 		return nil, fmt.Errorf("traffic: no samples for vehicle %d", id)
 	}
 	net := r.net
+	cur := 0
 	return mobility.Func(func(now time.Duration) geom.Point {
-		return samplePos(net, track, now)
+		var p geom.Point
+		p, cur = samplePosCursor(net, track, now, cur)
+		return p
 	}), nil
 }

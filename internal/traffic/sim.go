@@ -562,31 +562,40 @@ func (s *Simulation) Attach(eng *sim.Engine, horizon time.Duration) {
 // Model exposes vehicle id's recorded track as a mobility model: the
 // latest sample at or before the query time, linearly extrapolated along
 // its lane at the sampled speed. Valid in live mode (samples appear as
-// the engine steps) and after RunTo.
+// the engine steps) and after RunTo. The model keeps a private sample
+// cursor: simulation clocks are monotone, so the usual query pattern
+// advances a step or two per call instead of re-running a binary search
+// over the whole track. Like the simulation itself, a model must not be
+// shared across concurrently running engines.
 func (s *Simulation) Model(id int) mobility.Model {
 	veh := s.vehs[id]
 	net := s.net
+	cur := 0
 	return mobility.Func(func(now time.Duration) geom.Point {
-		return samplePos(net, veh.samples, now)
+		var p geom.Point
+		p, cur = samplePosCursor(net, veh.samples, now, cur)
+		return p
 	})
 }
 
 // samplePos evaluates a piecewise-linear track. Replayed and live models
 // share it, which is what makes record-then-replay byte-identical.
 func samplePos(net *Network, samples []sample, now time.Duration) geom.Point {
+	p, _ := samplePosCursor(net, samples, now, 0)
+	return p
+}
+
+// samplePosCursor is samplePos with a resumable cursor: hint is the index
+// boundary returned by the previous call (the first sample after that
+// query time). Monotone query times advance the cursor in O(1) amortised;
+// a backward jump or a cold hint falls back to the binary search. The
+// selected sample — and therefore the evaluated position — is exactly the
+// one the plain binary search picks, whatever the hint.
+func samplePosCursor(net *Network, samples []sample, now time.Duration, hint int) (geom.Point, int) {
 	if len(samples) == 0 {
-		return geom.Point{}
+		return geom.Point{}, 0
 	}
-	// Latest sample with at <= now.
-	lo, hi := 0, len(samples)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if samples[mid].at <= now {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	lo := sampleIdx(samples, now, hint)
 	var smp sample
 	if lo == 0 {
 		smp = samples[0]
@@ -597,9 +606,40 @@ func samplePos(net *Network, samples []sample, now time.Duration) geom.Point {
 	l := net.Links[smp.link]
 	arc := smp.arc + smp.v*(now-smp.at).Seconds()
 	if !l.loops {
-		arc = math.Min(arc, l.Length())
+		// Plain comparison, not math.Min: arc and length are always
+		// finite here and the call is too hot for the NaN-aware helper.
+		if max := l.Length(); arc > max {
+			arc = max
+		}
 	}
-	return l.LanePoint(int(smp.lane), arc)
+	return l.LanePoint(int(smp.lane), arc), lo
+}
+
+// sampleIdx returns the index of the first sample with at > now (the
+// binary-search upper bound), resuming from hint when possible.
+func sampleIdx(samples []sample, now time.Duration, hint int) int {
+	n := len(samples)
+	if hint < 0 || hint > n || (hint > 0 && samples[hint-1].at > now) {
+		hint = 0 // cold or backward: restart
+	}
+	// Forward scan from the hint; bail to binary search if the query
+	// jumped far ahead.
+	i := hint
+	for steps := 0; i < n && samples[i].at <= now; i++ {
+		if steps++; steps > 8 {
+			lo, hi := i, n
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if samples[mid].at <= now {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			return lo
+		}
+	}
+	return i
 }
 
 // State reports vehicle id's instantaneous road coordinates.

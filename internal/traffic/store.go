@@ -1,0 +1,155 @@
+package traffic
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+// StoreSchema is the on-disk format version. Bump it whenever the trace
+// wire format or the record semantics change: readers reject files written
+// under any other schema, so a stale store degrades to recomputation
+// instead of replaying wrong worlds.
+const StoreSchema = "traffic-trace-store/1"
+
+// storeHeader is the first line of every store file. The full cache key
+// is embedded so hash collisions in the file name can never alias two
+// different worlds, and the CRC + byte length make truncation and
+// corruption detectable without trusting the JSON parser to notice.
+type storeHeader struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+	// BodyLen and BodyCRC describe the JSONL body following the header
+	// line: its exact byte length and CRC-32 (IEEE).
+	BodyLen int64  `json:"body_len"`
+	BodyCRC uint32 `json:"body_crc"`
+}
+
+// Store is an on-disk cache of recorded traffic streams, keyed by the
+// same strings the scenario layer's in-memory cache uses (every parameter
+// that shapes vehicle motion, never protocol settings). It is the
+// precomputed-trace tier for high-throughput sweeps: one process records
+// a city's traffic once, and every later sweep arm — in this process or
+// any other — loads the stream instead of re-simulating it.
+//
+// Files are written atomically (temp file + rename), so concurrent
+// writers of the same key race benignly: one of the identical byte
+// streams wins.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("traffic: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("traffic: store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file a key stores under. The name is a 64-bit FNV-1a
+// hash of the key; collisions are harmless because Load verifies the
+// embedded key.
+func (s *Store) Path(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.trace.jsonl", h.Sum64()))
+}
+
+// Load returns the stream stored under key, or (nil, nil) when the key is
+// absent. A present-but-unusable file (wrong schema, key collision,
+// truncation, corruption) returns an error; callers treat that as a miss
+// and recompute, overwriting the bad file.
+func (s *Store) Load(key string) (*trace.Collector, error) {
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("traffic: store: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("traffic: store %s: truncated header", s.Path(key))
+	}
+	var hdr storeHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("traffic: store %s: header: %w", s.Path(key), err)
+	}
+	if hdr.Schema != StoreSchema {
+		return nil, fmt.Errorf("traffic: store %s: schema %q, want %q", s.Path(key), hdr.Schema, StoreSchema)
+	}
+	if hdr.Key != key {
+		return nil, fmt.Errorf("traffic: store %s: key mismatch (stored %q)", s.Path(key), hdr.Key)
+	}
+	body := data[nl+1:]
+	if int64(len(body)) != hdr.BodyLen {
+		return nil, fmt.Errorf("traffic: store %s: body %d bytes, header says %d (truncated?)",
+			s.Path(key), len(body), hdr.BodyLen)
+	}
+	if crc := crc32.ChecksumIEEE(body); crc != hdr.BodyCRC {
+		return nil, fmt.Errorf("traffic: store %s: body CRC %08x, header says %08x (corrupt)",
+			s.Path(key), crc, hdr.BodyCRC)
+	}
+	col, err := trace.ReadJSONL(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("traffic: store %s: %w", s.Path(key), err)
+	}
+	return col, nil
+}
+
+// Save writes the stream under key atomically. The body is the exact
+// trace JSONL wire format, so a loaded stream replays byte-identically to
+// the in-memory cache's round-trip.
+func (s *Store) Save(key string, col *trace.Collector) error {
+	var body bytes.Buffer
+	if err := col.WriteJSONL(&body); err != nil {
+		return fmt.Errorf("traffic: store: %w", err)
+	}
+	hdr, err := json.Marshal(storeHeader{
+		Schema:  StoreSchema,
+		Key:     key,
+		BodyLen: int64(body.Len()),
+		BodyCRC: crc32.ChecksumIEEE(body.Bytes()),
+	})
+	if err != nil {
+		return fmt.Errorf("traffic: store: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".trace-*.tmp")
+	if err != nil {
+		return fmt.Errorf("traffic: store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	if _, err := w.Write(hdr); err == nil {
+		if err = w.WriteByte('\n'); err == nil {
+			_, err = w.Write(body.Bytes())
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("traffic: store: writing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		return fmt.Errorf("traffic: store: %w", err)
+	}
+	return nil
+}
