@@ -23,14 +23,15 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./...
 
 # The traffic-subsystem benchmarks alone, shrunk by -short: the CI smoke
-# for the closed-loop vehicle dynamics.
+# for the closed-loop vehicle dynamics (including the demand-driven city
+# round with OD injection and actuated signals).
 bench-traffic:
-	$(GO) test -run=NONE -bench='Traffic|StopGo' -benchtime=1x -short .
+	$(GO) test -run=NONE -bench='Traffic|StopGo|CityDemand' -benchtime=1x -short .
 
 # Machine-readable benchmark snapshot; the committed BENCH_<n>.json files
 # track the perf trajectory PR over PR. Two steps (not a pipe) so a
 # failed bench run cannot silently produce a truncated snapshot.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.out.tmp
 	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_OUT)

@@ -567,6 +567,34 @@ func BenchmarkTrafficGridRound(b *testing.B) {
 	}
 }
 
+// BenchmarkCityDemand measures one full demand-driven city protocol
+// round (A18): OD Poisson injection, shortest-path routing, actuated
+// signals, every vehicle a beaconing station. -short shrinks the grid
+// and horizon for the CI bench job, where benchjson -compare gates its
+// ns/op and allocs/op trajectory.
+func BenchmarkCityDemand(b *testing.B) {
+	cfg := scenario.DefaultCityDemand()
+	if testing.Short() {
+		cfg.GridRows, cfg.GridCols = 8, 8
+		cfg.Cars = 6
+		cfg.DemandScale = 2
+		cfg.Duration = 30 * time.Second
+	}
+	b.ReportAllocs()
+	var vehicles float64
+	for i := 0; i < b.N; i++ {
+		run := cfg
+		run.Rounds = 1
+		run.Seed = int64(i + 1)
+		_, _, n, err := scenario.CityDemandRound(run, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vehicles = float64(n)
+	}
+	b.ReportMetric(vehicles, "demand_veh")
+}
+
 // BenchmarkStopGoRound measures one full congested-highway protocol
 // round (A16), including the stop-and-go wave.
 func BenchmarkStopGoRound(b *testing.B) {

@@ -10,7 +10,8 @@
 //
 //	experiments [-exp all|<name>[,<name>...]] [-rounds 30] [-seed 1]
 //	            [-out results] [-workers N] [-list]
-//	            [-traffic-store dir] [-cpuprofile file] [-memprofile file]
+//	            [-traffic-store dir] [-traffic-store-cap bytes]
+//	            [-cpuprofile file] [-memprofile file]
 //
 // Outputs are written to the -out directory as plain-text reports,
 // gnuplot-ready .dat series and SVG figures, plus a machine-readable
@@ -49,6 +50,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "concurrent work units (0: GOMAXPROCS)")
 		list         = flag.Bool("list", false, "print the experiment catalogue and exit")
 		trafficStore = flag.String("traffic-store", "", "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
+		storeCap     = flag.Int64("traffic-store-cap", 0, "byte budget of the traffic-trace store: least-recently-used traces are evicted past it (0: unbounded)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile at the end of the run to this file")
 	)
@@ -63,14 +65,14 @@ func main() {
 	// which would skip the profiling defers and leave a truncated
 	// cpu.pprof / missing mem.pprof on the very failing sweeps the
 	// profiling mode exists to debug.
-	if err := run(*exp, *rounds, *seed, *out, *workers, *trafficStore, *cpuProfile, *memProfile); err != nil {
+	if err := run(*exp, *rounds, *seed, *out, *workers, *trafficStore, *storeCap, *cpuProfile, *memProfile); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp string, rounds int, seed int64, out string, workers int, trafficStore, cpuProfile, memProfile string) (err error) {
+func run(exp string, rounds int, seed int64, out string, workers int, trafficStore string, storeCap int64, cpuProfile, memProfile string) (err error) {
 	if trafficStore != "" {
-		if err := scenario.SetTrafficTraceStore(trafficStore); err != nil {
+		if err := scenario.SetTrafficTraceStore(trafficStore, storeCap); err != nil {
 			return err
 		}
 	}

@@ -17,7 +17,7 @@ func TestCatalogueRegistered(t *testing.T) {
 		"table1", "batch", "selection", "apretx", "platoon", "download",
 		"bitrate", "epidemic", "highway", "combining", "adaptive",
 		"corridor", "ttl", "dynamics", "twoway", "trafficgrid", "stopgo",
-		"cityscale",
+		"cityscale", "citydemand",
 	}
 	names := harness.Names()
 	byName := map[string]bool{}
@@ -57,8 +57,8 @@ func TestListCatalogue(t *testing.T) {
 			t.Errorf("catalogue misses study %q:\n%s", name, out)
 		}
 	}
-	// Studies A1..A17 carry their identifier in the title.
-	for i := 1; i <= 17; i++ {
+	// Studies A1..A18 carry their identifier in the title.
+	for i := 1; i <= 18; i++ {
 		id := fmt.Sprintf("A%d:", i)
 		if !strings.Contains(out, id) {
 			t.Errorf("catalogue misses %s", id)

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 // Config parameterises one harness run.
@@ -106,6 +109,12 @@ func (r *Runner) runOne(e *Experiment) error {
 	start := time.Now()
 	err := e.Run(ctx)
 	rec.WallMS = time.Since(start).Milliseconds()
+	// The experiment is done with its results: return every registered
+	// round collector to the scenario pool so the next experiment's
+	// rounds reuse the grown record buffers instead of allocating anew.
+	for _, cols := range ctx.recycle {
+		scenario.RecycleTraces(cols...)
+	}
 	if err != nil {
 		rec.Error = err.Error()
 	}
@@ -138,6 +147,22 @@ type Unit struct {
 type Context struct {
 	runner *Runner
 	rec    *ExperimentRecord
+	// recycle holds the per-round protocol-trace slices registered for
+	// return to the scenario trace pool once the experiment finishes.
+	// Slices are registered before units fill them and read afterwards.
+	recycle [][]*trace.Collector
+}
+
+// RecycleTraces registers a slice of protocol-trace collectors to hand
+// back to the scenario trace pool when the experiment's Run returns —
+// the ownership contract that lets the harness reuse one collector's
+// grown record buffers across thousands of rounds. Batch result
+// builders register their per-round protocol traces automatically;
+// studies only need this for collectors they obtain outside a Batch.
+// Never register cache-owned traffic streams: those are shared across
+// arms and processes and must survive the experiment.
+func (c *Context) RecycleTraces(cols []*trace.Collector) {
+	c.recycle = append(c.recycle, cols)
 }
 
 // Rounds returns the run's requested round count.

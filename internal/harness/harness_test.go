@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -9,9 +10,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func TestRegistryLookupAndOrder(t *testing.T) {
@@ -205,6 +208,126 @@ func TestRunUnknownExperiment(t *testing.T) {
 	r := newTestRunner(t, 1)
 	if err := r.Run([]string{"no-such-study"}); err == nil {
 		t.Fatal("unknown experiment did not error")
+	}
+}
+
+// TestRunnerRecyclesRoundCollectors pins the result-ownership
+// restructure: round collectors registered by Batch result builders go
+// back to the scenario trace pool once their experiment's Run returns,
+// so a later experiment's rounds reuse them (Reset, same pointer)
+// instead of allocating fresh ones. Serial runner, single rounds: the
+// LIFO pool must hand experiment B exactly experiment A's collector.
+func TestRunnerRecyclesRoundCollectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	tiny := func() scenario.HighwayConfig {
+		cfg := scenario.DefaultHighway()
+		cfg.Rounds = 1
+		cfg.Cars = 1
+		return cfg
+	}
+	var first, second *trace.Collector
+	var firstTx int
+	Register(Experiment{
+		Name: "reg-recycle-a",
+		Run: func(c *Context) error {
+			b := c.Batch()
+			res := b.Highway("p", tiny())
+			if err := b.Go(); err != nil {
+				return err
+			}
+			first = res.Rounds[0]
+			firstTx = len(first.Tx)
+			return nil
+		},
+	})
+	Register(Experiment{
+		Name: "reg-recycle-b",
+		Run: func(c *Context) error {
+			b := c.Batch()
+			res := b.Highway("p", tiny())
+			if err := b.Go(); err != nil {
+				return err
+			}
+			second = res.Rounds[0]
+			return nil
+		},
+	})
+	r, err := NewRunner(Config{Rounds: 1, Seed: 2, OutDir: t.TempDir(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LIFO pool: A's collector lands on top when A finishes, so B's
+	// single round must pop exactly it, whatever earlier tests parked.
+	if err := r.Run([]string{"reg-recycle-a"}); err != nil {
+		t.Fatal(err)
+	}
+	probe := first
+	if probe == nil || firstTx == 0 {
+		t.Fatal("experiment A produced no trace")
+	}
+	// The experiment is over: its collector must already be Reset for
+	// reuse (the whole point of the ownership restructure).
+	if len(probe.Tx) != 0 {
+		t.Fatal("recycled collector still holds experiment A's records")
+	}
+	if err := r.Run([]string{"reg-recycle-b"}); err != nil {
+		t.Fatal(err)
+	}
+	if second != probe {
+		t.Fatal("experiment B did not reuse experiment A's recycled collector")
+	}
+}
+
+// TestCityDemandWorkerInvariance is the cross-worker byte-identity
+// acceptance test for the demand-driven city family: the same citydemand
+// point decomposed onto 1 and 3 workers must produce byte-identical
+// protocol traces round for round (Poisson arrivals, actuated signals
+// and demand exits included).
+func TestCityDemandWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	cfg := scenario.DefaultCityDemand()
+	cfg.Rounds = 2
+	cfg.Cars = 2
+	cfg.GridRows, cfg.GridCols = 6, 6
+	cfg.BlockM = 120
+	cfg.DemandScale = 3
+	cfg.Duration = 40 * time.Second
+	cfg.Seed = 5
+
+	run := func(workers int) [][]byte {
+		r, err := NewRunner(Config{Rounds: 2, Seed: 5, OutDir: t.TempDir(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := &Context{runner: r, rec: &ExperimentRecord{}}
+		b := c.Batch()
+		res := b.CityDemand("p", cfg)
+		if err := b.Go(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(res.Rounds))
+		for i, col := range res.Rounds {
+			var buf bytes.Buffer
+			if err := col.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(3)
+	for i := range serial {
+		if len(serial[i]) == 0 {
+			t.Fatalf("round %d trace is empty", i)
+		}
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Fatalf("round %d differs between 1 and 3 workers", i)
+		}
 	}
 }
 

@@ -81,6 +81,7 @@ func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.Test
 		Rounds: make([]*trace.Collector, ncfg.Rounds),
 	}
 	durs := make([]time.Duration, ncfg.Rounds)
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("testbed", point, ncfg.Rounds, func(round int) error {
 		col, dur, err := scenario.TestbedRound(ncfg, round)
 		if err != nil {
@@ -108,6 +109,7 @@ func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.High
 		CarIDs: scenario.CarIDs(ncfg.Cars),
 		Rounds: make([]*trace.Collector, ncfg.Rounds),
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("highway", point, ncfg.Rounds, func(round int) error {
 		col, err := scenario.HighwayRound(ncfg, round)
 		if err != nil {
@@ -135,6 +137,7 @@ func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.Co
 		RoadLengthM: scenario.CorridorRoadLength(ncfg),
 		Rounds:      make([]*trace.Collector, ncfg.Rounds),
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("corridor", point, ncfg.Rounds, func(round int) error {
 		col, err := scenario.CorridorRound(ncfg, round)
 		if err != nil {
@@ -162,6 +165,7 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 		RelayIDs: scenario.TwoWayRelayIDs(ncfg.RelayCars),
 		Rounds:   make([]*trace.Collector, ncfg.Rounds),
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("twoway", point, ncfg.Rounds, func(round int) error {
 		col, err := scenario.TwoWayRound(ncfg, round)
 		if err != nil {
@@ -191,6 +195,7 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 		Rounds:  make([]*trace.Collector, ncfg.Rounds),
 		Traffic: make([]*trace.Collector, ncfg.Rounds),
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("trafficgrid", point, ncfg.Rounds, func(round int) error {
 		col, stream, err := scenario.TrafficGridRound(ncfg, round)
 		if err != nil {
@@ -221,12 +226,45 @@ func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.
 	for i := 0; i < ncfg.APs; i++ {
 		res.APIDs = append(res.APIDs, scenario.APID+packet.NodeID(i))
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("cityscale", point, ncfg.Rounds, func(round int) error {
 		col, stream, err := scenario.CityScaleRound(ncfg, round)
 		if err != nil {
 			return err
 		}
 		res.Rounds[round], res.Traffic[round] = col, stream
+		return nil
+	})
+	return res
+}
+
+// CityDemand adds every round of one demand-driven city parameter point.
+func (b *Batch) CityDemand(point string, cfg scenario.CityDemandConfig) *scenario.CityDemandResult {
+	ncfg, err := cfg.Normalized()
+	if err != nil {
+		b.cfgErrors = append(b.cfgErrors, err)
+		return &scenario.CityDemandResult{}
+	}
+	if ncfg.Arm == "" {
+		ncfg.Arm = point
+	}
+	res := &scenario.CityDemandResult{
+		Config:   ncfg,
+		CarIDs:   scenario.CarIDs(ncfg.Cars),
+		Rounds:   make([]*trace.Collector, ncfg.Rounds),
+		Traffic:  make([]*trace.Collector, ncfg.Rounds),
+		Vehicles: make([]int, ncfg.Rounds),
+	}
+	for i := 0; i < ncfg.APs; i++ {
+		res.APIDs = append(res.APIDs, scenario.APID+packet.NodeID(i))
+	}
+	b.ctx.RecycleTraces(res.Rounds)
+	b.addRounds("citydemand", point, ncfg.Rounds, func(round int) error {
+		col, stream, vehicles, err := scenario.CityDemandRound(ncfg, round)
+		if err != nil {
+			return err
+		}
+		res.Rounds[round], res.Traffic[round], res.Vehicles[round] = col, stream, vehicles
 		return nil
 	})
 	return res
@@ -248,6 +286,7 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 		Rounds:  make([]*trace.Collector, ncfg.Rounds),
 		Traffic: make([]*trace.Collector, ncfg.Rounds),
 	}
+	b.ctx.RecycleTraces(res.Rounds)
 	b.addRounds("stopgo", point, ncfg.Rounds, func(round int) error {
 		col, stream, err := scenario.StopGoRound(ncfg, round)
 		if err != nil {
@@ -273,6 +312,13 @@ func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.D
 		}
 		*res = r
 		return nil
+	})
+	// The download result is a pointer filled by the unit; register its
+	// trace once Go has resolved it.
+	b.finalize = append(b.finalize, func() {
+		if *res != nil {
+			b.ctx.RecycleTraces([]*trace.Collector{(*res).Trace})
+		}
 	})
 	return res
 }

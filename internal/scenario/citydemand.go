@@ -1,0 +1,386 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/carq"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// CityDemandConfig parameterises the demand-driven city scenario (A18):
+// the same signalized grid and platoon-circuit C-ARQ deployment as the
+// city-scale scenario, but the background population comes from an
+// origin–destination demand table — Poisson injection per flow,
+// shortest-path routes, exit at the destination — instead of a fixed
+// random-turn population, and the lights can run queue-actuated control
+// instead of fixed cycles. Demand concentrates on two east-west
+// arterials (rush-heavy westbound-to-eastbound) and two north-south
+// connectors, so vehicle density forms rush corridors and near-empty
+// side streets: who happens to be near the platoon — and therefore the
+// cooperative-ARQ candidate set — follows realistic gradients rather
+// than statistically flat noise.
+type CityDemandConfig struct {
+	Rounds int
+	// Cars is the platoon size (the C-ARQ stations).
+	Cars int
+	Seed int64
+	// Arm names the sweep arm this config belongs to. A non-empty arm
+	// forks the round's channel and protocol randomness (sim.ArmSeed), so
+	// sweep arms stop sharing one fading/shadowing realization; the
+	// mobility/traffic world stays keyed by (Seed, round) alone and
+	// remains shared across arms. The harness sets it to the
+	// parameter-point label; empty keeps the unforked streams.
+	Arm string
+	// GridRows x GridCols intersections, BlockM apart.
+	GridRows, GridCols int
+	BlockM             float64
+	// APs is the Infostation count: 4 at the platoon circuit's corners,
+	// up to 8 adding the side midpoints.
+	APs int
+	// DemandScale multiplies every OD flow's rate — the sweep knob that
+	// moves the whole city from fluid to saturated. Zero is honoured as
+	// an empty-city baseline (no background demand at all), mirroring
+	// cityscale's Background semantics; DefaultCityDemand sets 1.
+	DemandScale float64
+	// Actuated switches every intersection to queue-actuated signal
+	// control (stop-line occupancy extends green up to a max, gap-out
+	// otherwise); false keeps the fixed cycles.
+	Actuated bool
+	// PacketsPerSecond per flow for the synchronised AP carousel.
+	PacketsPerSecond float64
+	PayloadBytes     int
+	// HelloPeriod is the demand vehicles' beacon period (every injected
+	// vehicle carries a radio, like the city-scale background).
+	HelloPeriod time.Duration
+	Coop        bool
+	Modulation  radio.Modulation
+	// Duration is the simulated time per round; it is also the demand
+	// horizon vehicles are injected over.
+	Duration time.Duration
+	// Replay drives the protocol run from a recorded traffic stream (via
+	// the shared trace cache) instead of live-stepping; both modes
+	// produce byte-identical traces.
+	Replay bool
+	// Medium selects the radio medium's delivery path (indexed default
+	// vs exhaustive fallback); both produce byte-identical traces.
+	Medium mac.MediumConfig
+	// TuneChannel and TuneCarq optionally mutate derived configs.
+	TuneChannel func(*radio.Config)
+	TuneCarq    func(*carq.Config)
+}
+
+// DefaultCityDemand returns a 12x12-intersection city (2.2 km on a side)
+// with a 10-car platoon, four corner Infostations, actuated signals and
+// a demand table that injects roughly ninety vehicles over the round.
+func DefaultCityDemand() CityDemandConfig {
+	return CityDemandConfig{
+		Rounds:           4,
+		Cars:             10,
+		Seed:             1,
+		GridRows:         12,
+		GridCols:         12,
+		BlockM:           200,
+		APs:              4,
+		DemandScale:      1,
+		Actuated:         true,
+		PacketsPerSecond: 5,
+		PayloadBytes:     1000,
+		HelloPeriod:      time.Second,
+		Coop:             true,
+		Modulation:       radio.DSSS1Mbps,
+		Duration:         160 * time.Second,
+		Replay:           true,
+	}
+}
+
+// Normalized validates the config and fills in defaults.
+func (cfg CityDemandConfig) Normalized() (CityDemandConfig, error) {
+	if cfg.Rounds <= 0 || cfg.Cars <= 0 {
+		return cfg, fmt.Errorf("scenario: rounds=%d cars=%d", cfg.Rounds, cfg.Cars)
+	}
+	if cfg.GridRows == 0 {
+		cfg.GridRows = 12
+	}
+	if cfg.GridCols == 0 {
+		cfg.GridCols = 12
+	}
+	if cfg.GridRows < 4 || cfg.GridCols < 4 {
+		return cfg, fmt.Errorf("scenario: grid %dx%d too small for the AP circuit", cfg.GridRows, cfg.GridCols)
+	}
+	if cfg.BlockM == 0 {
+		cfg.BlockM = 200
+	}
+	if cfg.DemandScale < 0 {
+		return cfg, fmt.Errorf("scenario: demand scale %g", cfg.DemandScale)
+	}
+	if cfg.APs == 0 {
+		cfg.APs = 4
+	}
+	if cfg.APs < 4 || cfg.APs > 8 {
+		return cfg, fmt.Errorf("scenario: %d APs (want 4..8: circuit corners plus side midpoints)", cfg.APs)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 160 * time.Second
+	}
+	if cfg.PacketsPerSecond <= 0 {
+		cfg.PacketsPerSecond = 5
+	}
+	if cfg.PayloadBytes <= 0 {
+		cfg.PayloadBytes = 1000
+	}
+	if cfg.HelloPeriod <= 0 {
+		cfg.HelloPeriod = time.Second
+	}
+	if cfg.Modulation.BitRate == 0 {
+		cfg.Modulation = radio.DSSS1Mbps
+	}
+	if maxLead := platoonLeadArc(cfg.Cars); maxLead > cfg.BlockM-10 {
+		return cfg, fmt.Errorf("scenario: %d platoon cars do not fit a %v m block", cfg.Cars, cfg.BlockM)
+	}
+	return cfg, nil
+}
+
+// CityDemandResult is the study output. Demand realisations differ per
+// round (each round draws its own Poisson arrivals), so the per-round
+// vehicle counts ride along with the traces.
+type CityDemandResult struct {
+	Config CityDemandConfig
+	CarIDs []packet.NodeID
+	APIDs  []packet.NodeID
+	// Rounds are the protocol traces; Traffic the recorded vehicle
+	// streams behind them; Vehicles the demand-vehicle count of each
+	// round (stations beyond the platoon and APs).
+	Rounds   []*trace.Collector
+	Traffic  []*trace.Collector
+	Vehicles []int
+}
+
+// cityDemandFlows builds the round's OD table on the grid: two east-west
+// arterials (heavy eastbound rush, lighter westbound return) and two
+// north-south connectors (balanced), all scaled by DemandScale. Origins
+// and destinations sit on the grid edges, so every route crosses the
+// platoon circuit's streets.
+func cityDemandFlows(g *traffic.GridNet, cfg CityDemandConfig) ([]traffic.DemandFlow, error) {
+	if cfg.DemandScale == 0 {
+		return nil, nil // empty-city baseline
+	}
+	rows, cols := cfg.GridRows, cfg.GridCols
+	link := func(r1, c1, r2, c2 int) (traffic.LinkID, error) {
+		id, ok := g.LinkBetween(r1, c1, r2, c2)
+		if !ok {
+			return 0, fmt.Errorf("scenario: demand grid misses link (%d,%d)->(%d,%d)", r1, c1, r2, c2)
+		}
+		return id, nil
+	}
+	var flows []traffic.DemandFlow
+	add := func(origin, dest traffic.LinkID, rateVehPerHour float64) {
+		flows = append(flows, traffic.DemandFlow{
+			Origin: origin, Dest: dest, RateVehPerHour: rateVehPerHour * cfg.DemandScale,
+		})
+	}
+	for _, r := range []int{rows / 3, 2 * rows / 3} {
+		east, err := link(r, 0, r, 1)
+		if err != nil {
+			return nil, err
+		}
+		eastEnd, err := link(r, cols-2, r, cols-1)
+		if err != nil {
+			return nil, err
+		}
+		west, err := link(r, cols-1, r, cols-2)
+		if err != nil {
+			return nil, err
+		}
+		westEnd, err := link(r, 1, r, 0)
+		if err != nil {
+			return nil, err
+		}
+		add(east, eastEnd, 480) // rush direction
+		add(west, westEnd, 240) // return direction
+	}
+	for _, c := range []int{cols / 3, 2 * cols / 3} {
+		south, err := link(0, c, 1, c)
+		if err != nil {
+			return nil, err
+		}
+		southEnd, err := link(rows-2, c, rows-1, c)
+		if err != nil {
+			return nil, err
+		}
+		north, err := link(rows-1, c, rows-2, c)
+		if err != nil {
+			return nil, err
+		}
+		northEnd, err := link(1, c, 0, c)
+		if err != nil {
+			return nil, err
+		}
+		add(south, southEnd, 120)
+		add(north, northEnd, 120)
+	}
+	return flows, nil
+}
+
+// cityDemandWorld builds the round's road network and vehicle
+// population: the platoon (vehicle IDs 0..Cars-1) on the circuit, then
+// the demand-injected population (Poisson arrivals, shortest routes,
+// exit at destination).
+func cityDemandWorld(cfg CityDemandConfig, roundSeed int64) (*traffic.GridNet, []traffic.VehicleSpec, error) {
+	gspec := traffic.GridSpec{
+		Rows: cfg.GridRows, Cols: cfg.GridCols,
+		BlockM:        cfg.BlockM,
+		Lanes:         2,
+		LaneWidthM:    3.2,
+		SpeedLimitMPS: 14,
+		Green:         24 * time.Second,
+		AllRed:        4 * time.Second,
+	}
+	if cfg.Actuated {
+		ap := traffic.DefaultActuatedParams()
+		gspec.Actuated = &ap
+	}
+	g, err := traffic.NewGridNetwork(gspec)
+	if err != nil {
+		return nil, nil, err
+	}
+	loR, loC, hiR, hiC := gridCircuit(cfg.GridRows, cfg.GridCols)
+	route, err := cityRoute(g, loR, loC, hiR, hiC)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rng := sim.Stream(roundSeed, "citydemand-drivers")
+	specs := cityPlatoonSpecs(route, cfg.Cars, rng)
+
+	flows, err := cityDemandFlows(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	demand, err := traffic.ExpandDemand(g.Network, flows, cfg.Duration,
+		sim.SeedFor(roundSeed, "citydemand-od"),
+		func(frng *rand.Rand) traffic.DriverParams {
+			return jitterDriver(traffic.DefaultDriver(), frng)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, append(specs, demand...), nil
+}
+
+// CityDemandRound runs one round and returns the protocol trace, the
+// traffic stream behind it, and the round's demand-vehicle count. Rounds
+// are independent: every stream — including the Poisson arrival
+// processes — derives from the root seed and round index alone.
+func CityDemandRound(cfg CityDemandConfig, round int) (*trace.Collector, *trace.Collector, int, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	roundSeed := sim.SeedFor(cfg.Seed, fmt.Sprintf("citydemand-round-%d", round))
+	g, specs, err := cityDemandWorld(cfg, roundSeed)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	tcfg := traffic.Config{Network: g.Network, Seed: roundSeed}
+	carIDs := CarIDs(cfg.Cars)
+	demandVehicles := len(specs) - cfg.Cars
+
+	// Every vehicle needs a mobility model: the platoon cars run C-ARQ,
+	// the demand population beacons.
+	models, trafficStream, preRun, err := trafficModels(g.Network, tcfg, specs,
+		cfg.Duration, cfg.Replay, len(specs))
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	chCfg := cityScaleChannel()
+	if cfg.TuneChannel != nil {
+		cfg.TuneChannel(&chCfg)
+	}
+	macCfg := mac.DefaultConfig()
+	macCfg.Modulation = cfg.Modulation
+
+	cars := make([]CarSpec, 0, len(specs))
+	for i, id := range carIDs {
+		ccfg := carq.DefaultConfig(id)
+		ccfg.CoopEnabled = cfg.Coop
+		if cfg.TuneCarq != nil {
+			cfg.TuneCarq(&ccfg)
+		}
+		cars = append(cars, CarSpec{ID: id, Mobility: models[i], Carq: ccfg})
+	}
+	period := cfg.HelloPeriod
+	for i := 0; i < demandVehicles; i++ {
+		id := BackgroundID + packet.NodeID(i)
+		// Radio-silent until the vehicle's arrival instant: the
+		// pre-entry population parked at the network edges must not
+		// radiate (vehicles that reached their destination keep
+		// beaconing, as parked cars do). Entry can slip past EnterAt
+		// under spillback, but only by the queue-clearing delay.
+		startAt := specs[cfg.Cars+i].EnterAt
+		cars = append(cars, CarSpec{
+			ID:       id,
+			Mobility: models[cfg.Cars+i],
+			Factory: func(id packet.NodeID, engine *sim.Engine, port *mac.Station, seed int64, _ carq.Observer) (Node, error) {
+				return &beaconNode{
+					id: id, engine: engine, port: port, period: period, startAt: startAt,
+					rng: sim.Stream(seed, fmt.Sprintf("beacon-%v", id)),
+				}, nil
+			},
+		})
+	}
+
+	aps := make([]APSpec, cfg.APs)
+	for i, pos := range gridAPs(g, cfg.APs) {
+		// Synchronised carousel, as in the city-scale scenario.
+		aps[i] = APSpec{
+			Position: pos,
+			Config: apConfigWindow(APID+packet.NodeID(i), carIDs, cfg.PacketsPerSecond,
+				cfg.PayloadBytes, 1, time.Millisecond, 0),
+		}
+	}
+
+	result, err := Run(Setup{
+		Seed:     sim.ArmSeed(roundSeed, cfg.Arm),
+		Channel:  chCfg,
+		MAC:      macCfg,
+		APs:      aps,
+		Cars:     cars,
+		Duration: cfg.Duration,
+		PreRun:   preRun,
+		Medium:   cfg.Medium,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return result.Trace, trafficStream, demandVehicles, nil
+}
+
+// RunCityDemand executes every round serially.
+func RunCityDemand(cfg CityDemandConfig) (*CityDemandResult, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	res := &CityDemandResult{Config: cfg, CarIDs: CarIDs(cfg.Cars)}
+	for i := 0; i < cfg.APs; i++ {
+		res.APIDs = append(res.APIDs, APID+packet.NodeID(i))
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		col, stream, vehicles, err := CityDemandRound(cfg, round)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: city demand round %d: %w", round, err)
+		}
+		res.Rounds = append(res.Rounds, col)
+		res.Traffic = append(res.Traffic, stream)
+		res.Vehicles = append(res.Vehicles, vehicles)
+	}
+	return res, nil
+}

@@ -152,11 +152,12 @@ func (r *CityScaleResult) Stations() int {
 	return len(r.CarIDs) + r.Config.Background + r.Config.APs
 }
 
-// cityCircuit returns the platoon circuit's corner intersections: a
-// rectangle inset a quarter of the grid from each edge.
-func cityCircuit(cfg CityScaleConfig) (loR, loC, hiR, hiC int) {
-	loR, loC = cfg.GridRows/4, cfg.GridCols/4
-	hiR, hiC = cfg.GridRows-1-loR, cfg.GridCols-1-loC
+// gridCircuit returns the platoon circuit's corner intersections on a
+// rows x cols grid: a rectangle inset a quarter of the grid from each
+// edge. Shared by every city-family scenario (cityscale, citydemand).
+func gridCircuit(rows, cols int) (loR, loC, hiR, hiC int) {
+	loR, loC = rows/4, cols/4
+	hiR, hiC = rows-1-loR, cols-1-loC
 	return
 }
 
@@ -186,22 +187,46 @@ func cityRoute(g *traffic.GridNet, loR, loC, hiR, hiC int) ([]traffic.LinkID, er
 	return route, nil
 }
 
-// cityAPs places the Infostations: the four circuit corners, then side
-// midpoints for APs beyond four, each offset into the street corner like
-// a pole-mounted unit.
-func cityAPs(g *traffic.GridNet, cfg CityScaleConfig) []geom.Point {
-	loR, loC, hiR, hiC := cityCircuit(cfg)
+// gridAPs places the Infostations on the platoon circuit: the four
+// circuit corners, then side midpoints for APs beyond four, each offset
+// into the street corner like a pole-mounted unit.
+func gridAPs(g *traffic.GridNet, aps int) []geom.Point {
+	loR, loC, hiR, hiC := gridCircuit(g.Spec.Rows, g.Spec.Cols)
 	midR, midC := (loR+hiR)/2, (loC+hiC)/2
 	nodes := [][2]int{
 		{loR, loC}, {loR, hiC}, {hiR, hiC}, {hiR, loC}, // corners
 		{loR, midC}, {midR, hiC}, {hiR, midC}, {midR, loC}, // side midpoints
 	}
-	pts := make([]geom.Point, cfg.APs)
+	pts := make([]geom.Point, aps)
 	for i := range pts {
 		p := g.NodePoint(nodes[i][0], nodes[i][1])
 		pts[i] = geom.Point{X: p.X + 8, Y: p.Y + 8}
 	}
 	return pts
+}
+
+// cityPlatoonSpecs builds the circuit platoon's vehicle specs shared by
+// the city-family scenarios (cityscale, citydemand): a jittered urban
+// driver profile with tight uniform headways, the whole column fitting
+// the route's start link. Draws exactly cars jitter triples from rng, in
+// platoon order.
+func cityPlatoonSpecs(route []traffic.LinkID, cars int, rng *rand.Rand) []traffic.VehicleSpec {
+	base := traffic.DefaultDriver()
+	base.DesiredSpeedMPS = 13
+	specs := make([]traffic.VehicleSpec, 0, cars)
+	for i := 0; i < cars; i++ {
+		drv := jitterDriver(base, rng)
+		drv.TimeHeadwayS = base.TimeHeadwayS // the platoon keeps tight, uniform headways
+		specs = append(specs, traffic.VehicleSpec{
+			Driver:   drv,
+			Link:     route[0],
+			Lane:     0,
+			ArcM:     platoonLeadArc(cars) - 14*float64(i),
+			SpeedMPS: 8,
+			Route:    route,
+		})
+	}
+	return specs
 }
 
 // cityScaleChannel is the deep-urban calibration: strong aggregate
@@ -237,29 +262,14 @@ func cityScaleWorld(cfg CityScaleConfig, roundSeed int64) (*traffic.GridNet, []t
 	if err != nil {
 		return nil, nil, err
 	}
-	loR, loC, hiR, hiC := cityCircuit(cfg)
+	loR, loC, hiR, hiC := gridCircuit(cfg.GridRows, cfg.GridCols)
 	route, err := cityRoute(g, loR, loC, hiR, hiC)
 	if err != nil {
 		return nil, nil, err
 	}
 
 	rng := sim.Stream(roundSeed, "city-drivers")
-	base := traffic.DefaultDriver()
-	base.DesiredSpeedMPS = 13
-
-	var specs []traffic.VehicleSpec
-	for i := 0; i < cfg.Cars; i++ {
-		drv := jitterDriver(base, rng)
-		drv.TimeHeadwayS = base.TimeHeadwayS // the platoon keeps tight, uniform headways
-		specs = append(specs, traffic.VehicleSpec{
-			Driver:   drv,
-			Link:     route[0],
-			Lane:     0,
-			ArcM:     platoonLeadArc(cfg.Cars) - 14*float64(i),
-			SpeedMPS: 8,
-			Route:    route,
-		})
-	}
+	specs := cityPlatoonSpecs(route, cfg.Cars, rng)
 
 	// Background vehicles spread deterministically over every link except
 	// the platoon's start link, random turns at intersections.
@@ -297,22 +307,26 @@ func cityScaleWorld(cfg CityScaleConfig, roundSeed int64) (*traffic.GridNet, []t
 // beaconNode is the background vehicles' protocol: periodic HELLO
 // beacons with per-node deterministic jitter, no reaction to received
 // frames. It models the paper's non-cooperating traffic that still loads
-// the channel — and, at scale, the medium.
+// the channel — and, at scale, the medium. startAt delays the first
+// beacon: demand-injected vehicles stay radio-silent until their
+// arrival instant, so the pre-entry population parked at the network
+// edges never radiates (zero for always-present vehicles).
 type beaconNode struct {
-	id     packet.NodeID
-	engine *sim.Engine
-	port   *mac.Station
-	period time.Duration
-	rng    *rand.Rand
+	id      packet.NodeID
+	engine  *sim.Engine
+	port    *mac.Station
+	period  time.Duration
+	startAt time.Duration
+	rng     *rand.Rand
 }
 
 // HandleFrame implements mac.Handler.
 func (n *beaconNode) HandleFrame(*packet.Frame, mac.RxMeta) {}
 
 // Start implements Node: the first beacon lands at a uniformly jittered
-// offset so the population desynchronises.
+// offset past startAt so the population desynchronises.
 func (n *beaconNode) Start() {
-	first := time.Duration(n.rng.Int63n(int64(n.period)))
+	first := n.startAt + time.Duration(n.rng.Int63n(int64(n.period)))
 	n.engine.Schedule(first, n.beacon)
 }
 
@@ -322,13 +336,6 @@ func (n *beaconNode) beacon() {
 	_ = n.port.Send(packet.NewHello(n.id, nil))
 	jitter := time.Duration(n.rng.Int63n(int64(n.period / 4)))
 	n.engine.Schedule(n.period+jitter-n.period/8, n.beacon)
-}
-
-// cityScaleCacheKey identifies one round's traffic world by every
-// parameter that shapes vehicle motion and nothing protocol-side.
-func cityScaleCacheKey(cfg CityScaleConfig, roundSeed int64) string {
-	return fmt.Sprintf("city|seed=%d|cars=%d|bg=%d|grid=%dx%d|block=%g|dur=%s",
-		roundSeed, cfg.Cars, cfg.Background, cfg.GridRows, cfg.GridCols, cfg.BlockM, cfg.Duration)
 }
 
 // CityScaleRound runs one round and returns the protocol trace and the
@@ -350,7 +357,7 @@ func CityScaleRound(cfg CityScaleConfig, round int) (*trace.Collector, *trace.Co
 	// Every vehicle needs a mobility model: the platoon cars run C-ARQ,
 	// the rest beacon.
 	models, trafficStream, preRun, err := trafficModels(g.Network, tcfg, specs,
-		cfg.Duration, cfg.Replay, cityScaleCacheKey(cfg, roundSeed), len(specs))
+		cfg.Duration, cfg.Replay, len(specs))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -387,7 +394,7 @@ func CityScaleRound(cfg CityScaleConfig, round int) (*trace.Collector, *trace.Co
 	}
 
 	aps := make([]APSpec, cfg.APs)
-	for i, pos := range cityAPs(g, cfg) {
+	for i, pos := range gridAPs(g, cfg.APs) {
 		// Synchronised carousel, as in the corridor: every Infostation
 		// transmits the same numbered stream on the same schedule.
 		aps[i] = APSpec{
@@ -430,11 +437,11 @@ func CityScaleMobilityModels(cfg CityScaleConfig, round int) ([]mobility.Model, 
 	}
 	tcfg := traffic.Config{Network: g.Network, Seed: roundSeed}
 	models, _, _, err := trafficModels(g.Network, tcfg, specs,
-		cfg.Duration, true, cityScaleCacheKey(cfg, roundSeed), len(specs))
+		cfg.Duration, true, len(specs))
 	if err != nil {
 		return nil, nil, err
 	}
-	return models, cityAPs(g, cfg), nil
+	return models, gridAPs(g, cfg.APs), nil
 }
 
 // RunCityScale executes every round serially.

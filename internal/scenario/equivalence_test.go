@@ -162,6 +162,27 @@ func TestScenarioEquivalenceAcrossMediumModes(t *testing.T) {
 		assertSameTrace(t, "stopgo", run(indexedMedium), run(exhaustiveMedium))
 	})
 
+	// citydemand layers OD-driven injection and actuated signals on the
+	// city geometry; the equivalence must hold through late entries and
+	// destination exits too.
+	t.Run("citydemand", func(t *testing.T) {
+		run := func(m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCityDemand()
+			cfg.Rounds = 1
+			cfg.Cars = 4
+			cfg.GridRows, cfg.GridCols = 8, 8
+			cfg.DemandScale = 2
+			cfg.Duration = 30 * time.Second
+			cfg.Medium = m
+			col, _, _, err := CityDemandRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}
+		assertSameTrace(t, "citydemand", run(indexedMedium), run(exhaustiveMedium))
+	})
+
 	// cityscale is the family whose geometry actually exercises culling
 	// (station spread far beyond the reception horizon): the medium-level
 	// property tests cover randomized topologies, this covers the full

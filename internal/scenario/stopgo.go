@@ -195,11 +195,6 @@ func stopGoAP(net *traffic.Network) geom.Point {
 	return edge.Add(out.Scale(12))
 }
 
-func stopGoCacheKey(cfg StopGoConfig, roundSeed int64) string {
-	return fmt.Sprintf("stopgo|seed=%d|cars=%d|veh=%d|ring=%g|dur=%s|pat=%s|pfor=%s",
-		roundSeed, cfg.Cars, cfg.Vehicles, cfg.RingM, cfg.Duration, cfg.PerturbAt, cfg.PerturbFor)
-}
-
 // StopGoRound runs one round; see TrafficGridRound for the contract.
 func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collector, error) {
 	cfg, err := cfg.Normalized()
@@ -215,7 +210,7 @@ func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collecto
 	carIDs := CarIDs(cfg.Cars)
 
 	models, trafficStream, preRun, err := trafficModels(net, tcfg, specs,
-		cfg.Duration, cfg.Replay, stopGoCacheKey(cfg, roundSeed), cfg.Cars)
+		cfg.Duration, cfg.Replay, cfg.Cars)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -228,11 +228,11 @@ func TestTrafficStoreServesByteIdenticalRounds(t *testing.T) {
 		t.Skip("simulation rounds in -short mode")
 	}
 	dir := t.TempDir()
-	if err := SetTrafficTraceStore(dir); err != nil {
+	if err := SetTrafficTraceStore(dir, 0); err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
-		_ = SetTrafficTraceStore("")
+		_ = SetTrafficTraceStore("", 0)
 		resetTrafficCache()
 	}()
 	resetTrafficCache()

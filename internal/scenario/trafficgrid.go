@@ -248,14 +248,6 @@ func trafficGridChannel(g *traffic.GridNet) radio.Config {
 	}
 }
 
-// trafficGridCacheKey identifies one round's traffic world: every
-// parameter that shapes vehicle motion and nothing protocol-side, so
-// sweeps over Coop/modulation/carq settings share the cached stream.
-func trafficGridCacheKey(cfg TrafficGridConfig, roundSeed int64) string {
-	return fmt.Sprintf("tgrid|seed=%d|cars=%d|bg=%d|grid=%dx%d|block=%g|dur=%s",
-		roundSeed, cfg.Cars, cfg.Background, cfg.GridRows, cfg.GridCols, cfg.BlockM, cfg.Duration)
-}
-
 // TrafficGridRound runs one round and returns the protocol trace and the
 // traffic stream behind it. Rounds are independent: every stream derives
 // from the root seed and round index alone.
@@ -273,7 +265,7 @@ func TrafficGridRound(cfg TrafficGridConfig, round int) (*trace.Collector, *trac
 	carIDs := CarIDs(cfg.Cars)
 
 	models, trafficStream, preRun, err := trafficModels(g.Network, tcfg, specs,
-		cfg.Duration, cfg.Replay, trafficGridCacheKey(cfg, roundSeed), cfg.Cars)
+		cfg.Duration, cfg.Replay, cfg.Cars)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -47,14 +47,16 @@ var trafficStore *traffic.Store
 // are unaffected. Sweeps pointed at a shared directory compute each
 // traffic world exactly once across processes and serve every later arm
 // from disk; loads are byte-identical to an in-process recording (see the
-// store round-trip tests).
-func SetTrafficTraceStore(dir string) error {
+// store round-trip tests). maxBytes > 0 installs an LRU size budget on
+// the store (see traffic.Store.SetMaxBytes); 0 leaves it unbounded.
+func SetTrafficTraceStore(dir string, maxBytes int64) error {
 	var st *traffic.Store
 	if dir != "" {
 		var err error
 		if st, err = traffic.NewStore(dir); err != nil {
 			return err
 		}
+		st.SetMaxBytes(maxBytes)
 	}
 	trafficCache.mu.Lock()
 	trafficStore = st
@@ -113,14 +115,18 @@ func recordTrafficTrace(tcfg traffic.Config, specs []traffic.VehicleSpec, d time
 //     engine through the returned PreRun and steps on its clock, filling
 //     the returned stream as the round executes;
 //   - replay (replay=true): the traffic run is computed up front (via the
-//     shared cache under cacheKey), serialised through the trace JSONL
-//     wire format, and replayed — the record-once, sweep-many path.
+//     shared cache), serialised through the trace JSONL wire format, and
+//     replayed — the record-once, sweep-many path.
+//
+// The cache key is traffic.TraceKey(tcfg, specs, d): the exhaustive
+// digest of everything that shapes vehicle motion, computed here so no
+// scenario can forget a field when its config grows one.
 //
 // The first nPlatoon specs are the platoon; their models are returned in
 // order. The stream holds every vehicle's recorded track (complete only
 // after the round runs to its horizon in live mode).
 func trafficModels(net *traffic.Network, tcfg traffic.Config, specs []traffic.VehicleSpec,
-	d time.Duration, replay bool, cacheKey string, nPlatoon int) ([]mobility.Model, *trace.Collector, func(*sim.Engine), error) {
+	d time.Duration, replay bool, nPlatoon int) ([]mobility.Model, *trace.Collector, func(*sim.Engine), error) {
 
 	models := make([]mobility.Model, nPlatoon)
 	if !replay {
@@ -136,7 +142,7 @@ func trafficModels(net *traffic.Network, tcfg traffic.Config, specs []traffic.Ve
 		return models, rec, func(eng *sim.Engine) { ts.Attach(eng, d) }, nil
 	}
 
-	col, err := trafficCache.get(cacheKey, func() (*trace.Collector, error) {
+	col, err := trafficCache.get(traffic.TraceKey(tcfg, specs, d), func() (*trace.Collector, error) {
 		rec, err := recordTrafficTrace(tcfg, specs, d)
 		if err != nil {
 			return nil, err

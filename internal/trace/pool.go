@@ -1,0 +1,43 @@
+package trace
+
+import "sync"
+
+// Pool recycles Collectors across simulation rounds. A sweep harness
+// runs thousands of rounds whose record slices grow to similar sizes;
+// handing each round a Reset collector from an earlier one turns that
+// steady-state growth into zero allocations (the pool test asserts the
+// allocs/op). The zero value is ready to use and safe for concurrent
+// Get/Put. A collector put back must no longer be referenced by its
+// producer: the next Get hands it out again.
+type Pool struct {
+	mu   sync.Mutex
+	free []*Collector
+}
+
+// Get returns a recycled collector (already Reset) or a fresh one.
+func (p *Pool) Get() *Collector {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return c
+	}
+	return &Collector{}
+}
+
+// Put resets the collectors and makes them available to later Gets.
+// Nils are skipped, so callers can hand over sparse result slices
+// unconditionally.
+func (p *Pool) Put(cols ...*Collector) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cols {
+		if c == nil {
+			continue
+		}
+		c.Reset()
+		p.free = append(p.free, c)
+	}
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// fillCollector appends a representative record mix, standing in for one
+// simulation round's tracing load.
+func fillCollector(c *Collector, records int) {
+	for i := 0; i < records; i++ {
+		c.Tx = append(c.Tx, TxRecord{At: time.Duration(i), Seq: uint32(i)})
+		c.Rx = append(c.Rx, RxRecord{At: time.Duration(i), Seq: uint32(i)})
+		c.Vehicles = append(c.Vehicles, VehicleRecord{At: time.Duration(i), Veh: i})
+	}
+}
+
+// TestPoolRecyclesResetCollectors pins the pool semantics: a returned
+// collector comes back from Get (LIFO), empty but with its record
+// capacity intact.
+func TestPoolRecyclesResetCollectors(t *testing.T) {
+	var p Pool
+	c := p.Get()
+	fillCollector(c, 100)
+	capTx := cap(c.Tx)
+	p.Put(c)
+	got := p.Get()
+	if got != c {
+		t.Fatal("pool did not hand back the recycled collector")
+	}
+	if len(got.Tx) != 0 || len(got.Rx) != 0 || len(got.Vehicles) != 0 {
+		t.Fatal("recycled collector was not reset")
+	}
+	if cap(got.Tx) != capTx {
+		t.Fatalf("recycling lost the grown capacity: %d, want %d", cap(got.Tx), capTx)
+	}
+	// nils are skipped so sparse result slices can be handed over as-is.
+	p.Put(nil, got)
+	if p.Get() != got {
+		t.Fatal("nil entry displaced the recycled collector")
+	}
+}
+
+// TestPoolReuseAllocsPerRun is the allocs/op assertion of the
+// harness-reuse bugfix: once a collector's record slices have grown to a
+// round's size, running further rounds through the pool allocates
+// nothing — neither in the pool bookkeeping nor in the record appends.
+func TestPoolReuseAllocsPerRun(t *testing.T) {
+	var p Pool
+	const records = 512
+	// Warm up: grow one collector to steady-state capacity.
+	c := p.Get()
+	fillCollector(c, records)
+	p.Put(c)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		col := p.Get()
+		fillCollector(col, records)
+		p.Put(col)
+	})
+	if allocs > 0 {
+		t.Fatalf("recycled round allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -67,19 +67,67 @@ func (l *Link) LanePoint(lane int, arc float64) geom.Point {
 	return p.Add(right.Scale(off))
 }
 
-// SignalPhase is one step of a fixed signal cycle: the given incoming
-// links see green for Dur; everyone else sees red.
+// SignalPhase is one step of a signal's phase sequence: the given
+// incoming links see green; everyone else sees red. Under fixed-cycle
+// control the phase lasts Dur; under actuated control (Signal.Actuated)
+// Dur is ignored and the controller times the phase from its sensors.
 type SignalPhase struct {
 	Dur   time.Duration
 	Green []LinkID
 }
 
-// Signal is a fixed-cycle traffic light. The cycle is the sum of the
-// phase durations, entered at (now + Offset) modulo the cycle.
+// ActuatedParams configures queue-actuated control of a signal. Each
+// phase's green holds for at least MinGreen, then extends while the
+// stop-line occupancy sensor — the last DetectorM metres of any lane of
+// any green approach — detects a vehicle, and gaps out the tick the
+// detector empties. MaxGreen is the hard max-out bound: presence can
+// extend a green up to it but never past it. Phases are separated by an
+// AllRed clearance and cycle in Phases order. The controller's state is
+// deterministic traffic state, so actuated worlds stay bit-reproducible
+// and replayable.
+type ActuatedParams struct {
+	MinGreen  time.Duration
+	MaxGreen  time.Duration
+	AllRed    time.Duration
+	DetectorM float64
+}
+
+func (a ActuatedParams) validate() error {
+	switch {
+	case a.MinGreen <= 0:
+		return fmt.Errorf("traffic: actuated min green %v", a.MinGreen)
+	case a.MaxGreen < a.MinGreen:
+		return fmt.Errorf("traffic: actuated max green %v < min green %v", a.MaxGreen, a.MinGreen)
+	case a.AllRed < 0:
+		return fmt.Errorf("traffic: actuated all-red %v", a.AllRed)
+	case a.DetectorM <= 0:
+		return fmt.Errorf("traffic: actuated detector %v m", a.DetectorM)
+	}
+	return nil
+}
+
+// DefaultActuatedParams returns an urban-arterial calibration: a short
+// guaranteed green, a 30 s max-out, and a 40 m stop-line detector.
+func DefaultActuatedParams() ActuatedParams {
+	return ActuatedParams{
+		MinGreen:  6 * time.Second,
+		MaxGreen:  30 * time.Second,
+		AllRed:    4 * time.Second,
+		DetectorM: 40,
+	}
+}
+
+// Signal is a traffic light: a phase sequence driven either by a fixed
+// cycle (the sum of the phase durations, entered at (now + Offset)
+// modulo the cycle) or, when Actuated is set, by queue-length sensors
+// (Offset and phase durations are then ignored; the phase timing lives
+// in the Simulation's controller state).
 type Signal struct {
 	ID     SignalID
 	Phases []SignalPhase
 	Offset time.Duration
+	// Actuated switches the signal to queue-actuated control.
+	Actuated *ActuatedParams
 }
 
 // Cycle returns the total cycle duration.
@@ -171,7 +219,22 @@ func (n *Network) Validate() error {
 		if s.ID != SignalID(i) {
 			return fmt.Errorf("traffic: signal %d has ID %d", i, s.ID)
 		}
-		if s.Cycle() <= 0 {
+		if s.Actuated != nil {
+			if err := s.Actuated.validate(); err != nil {
+				return fmt.Errorf("traffic: signal %d: %w", i, err)
+			}
+			if len(s.Phases) == 0 {
+				return fmt.Errorf("traffic: actuated signal %d has no phases", i)
+			}
+			// Clearance is the controller's AllRed, not a phase: every
+			// actuated phase must serve someone or the controller would
+			// idle a whole min-green on nothing.
+			for j, p := range s.Phases {
+				if len(p.Green) == 0 {
+					return fmt.Errorf("traffic: actuated signal %d phase %d serves no links", i, j)
+				}
+			}
+		} else if s.Cycle() <= 0 {
 			return fmt.Errorf("traffic: signal %d has empty cycle", i)
 		}
 	}
@@ -215,6 +278,11 @@ type GridSpec struct {
 	// green, clearance, east-west green, clearance.
 	Green  time.Duration
 	AllRed time.Duration
+	// Actuated, when non-nil, switches every intersection to
+	// queue-actuated control with these parameters: two phases
+	// (north-south, east-west) timed by stop-line occupancy instead of
+	// the fixed Green/AllRed cycle.
+	Actuated *ActuatedParams
 }
 
 // DefaultGridSpec returns a 3x3-intersection grid of 120 m blocks with
@@ -375,7 +443,7 @@ func NewGridNetwork(spec GridSpec) (*GridNet, error) {
 			sortLinkIDs(ns)
 			sortLinkIDs(ew)
 			sid := SignalID(len(g.Signals))
-			g.Signals = append(g.Signals, &Signal{
+			sig := &Signal{
 				ID: sid,
 				Phases: []SignalPhase{
 					{Dur: spec.Green, Green: ns},
@@ -383,7 +451,19 @@ func NewGridNetwork(spec GridSpec) (*GridNet, error) {
 					{Dur: spec.Green, Green: ew},
 					{Dur: spec.AllRed},
 				},
-			})
+			}
+			if spec.Actuated != nil {
+				// Actuated control inserts its own clearance; the phase
+				// list is just the green sets. Each signal owns a copy of
+				// the params so the network stays self-contained.
+				ap := *spec.Actuated
+				sig.Phases = []SignalPhase{
+					{Dur: ap.MaxGreen, Green: ns},
+					{Dur: ap.MaxGreen, Green: ew},
+				}
+				sig.Actuated = &ap
+			}
+			g.Signals = append(g.Signals, sig)
 			for _, id := range arriving[node] {
 				g.Links[id].Signal = sid
 			}

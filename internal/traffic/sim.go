@@ -83,12 +83,24 @@ type VehicleSpec struct {
 	Lane     int
 	ArcM     float64
 	SpeedMPS float64
-	// Route, when non-empty, is the cyclic link sequence the vehicle
-	// drives (Route[0] must equal Link). Empty means random turns drawn
-	// from the vehicle's own seeded stream.
+	// Route, when non-empty, is the link sequence the vehicle drives
+	// (Route[0] must equal Link): cyclic by default, driven once when
+	// ExitAtEnd is set. Empty means random turns drawn from the
+	// vehicle's own seeded stream.
 	Route []LinkID
 	// Caps are time-windowed speed limits (perturbations).
 	Caps []SpeedCap
+	// EnterAt delays the vehicle's injection (demand-driven arrivals):
+	// until the first tick at or after EnterAt it sits parked at its
+	// spec position, outside every lane and invisible to car-following,
+	// then it enters live traffic at SpeedMPS. Zero means present from
+	// the start.
+	EnterAt time.Duration
+	// ExitAtEnd makes Route an open path driven exactly once: at the end
+	// of the final route link the vehicle leaves traffic — removed from
+	// its lane, parked at the link end with zero speed (its final
+	// recorded sample). Requires a non-empty, loop-free Route.
+	ExitAtEnd bool
 }
 
 // sample is one point of a vehicle's exposed piecewise-linear track.
@@ -115,6 +127,11 @@ type vehicle struct {
 	next     *Link
 	rng      *rand.Rand
 
+	enterAt   time.Duration
+	pending   bool // not yet injected (EnterAt in the future)
+	exitAtEnd bool
+	exited    bool // completed its OD route and left traffic
+
 	lastChange time.Duration
 	changed    bool
 	samples    []sample
@@ -137,6 +154,20 @@ type Simulation struct {
 	gridTick int
 	now      time.Duration
 	tick     int
+	// actuated holds the per-signal controller state of queue-actuated
+	// signals, indexed by SignalID (untouched for fixed-cycle signals).
+	actuated []actuatedState
+}
+
+// actuatedState is one actuated signal's controller: which phase shows
+// green, when that green began, and the all-red clearance window between
+// phases. It is pure traffic state — advanced only by Step — so actuated
+// worlds keep the bit-reproducibility contract.
+type actuatedState struct {
+	phase      int
+	greenStart time.Duration
+	inClear    bool
+	clearUntil time.Duration
 }
 
 // New validates the configuration and vehicle placement and returns a
@@ -166,13 +197,16 @@ func New(cfg Config, specs []VehicleSpec) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.actuated = make([]actuatedState, len(s.net.Signals))
 	for i, spec := range specs {
 		veh, err := s.newVehicle(i, spec)
 		if err != nil {
 			return nil, fmt.Errorf("traffic: vehicle %d: %w", i, err)
 		}
 		s.vehs = append(s.vehs, veh)
-		s.lanes[veh.link.ID][veh.lane] = append(s.lanes[veh.link.ID][veh.lane], veh)
+		if !veh.pending {
+			s.lanes[veh.link.ID][veh.lane] = append(s.lanes[veh.link.ID][veh.lane], veh)
+		}
 	}
 	for li := range s.lanes {
 		for lane := range s.lanes[li] {
@@ -180,7 +214,15 @@ func New(cfg Config, specs []VehicleSpec) (*Simulation, error) {
 		}
 	}
 	for _, veh := range s.vehs {
-		veh.record(s.now, cfg.Recorder)
+		if veh.pending {
+			// The pre-entry sample parks the vehicle at its entry point
+			// with zero speed, so live and replayed models agree on its
+			// position from t=0 (byte-identity needs a track even before
+			// injection).
+			veh.recordParked(s.now, cfg.Recorder)
+		} else {
+			veh.record(s.now, cfg.Recorder)
+		}
 	}
 	return s, nil
 }
@@ -202,7 +244,21 @@ func (s *Simulation) newVehicle(id int, spec VehicleSpec) (*vehicle, error) {
 	if spec.SpeedMPS < 0 {
 		return nil, fmt.Errorf("speed %v", spec.SpeedMPS)
 	}
+	if spec.EnterAt < 0 {
+		return nil, fmt.Errorf("enter time %v", spec.EnterAt)
+	}
+	if spec.ExitAtEnd && len(spec.Route) == 0 {
+		return nil, fmt.Errorf("exit-at-end without a route")
+	}
 	for i := range spec.Route {
+		if spec.ExitAtEnd {
+			if s.net.Link(spec.Route[i]).Loops() {
+				return nil, fmt.Errorf("route hop %d: OD route through loop link %d never ends", i, spec.Route[i])
+			}
+			if i+1 == len(spec.Route) {
+				break // open path: no wrap-around hop
+			}
+		}
 		cur, nxt := spec.Route[i], spec.Route[(i+1)%len(spec.Route)]
 		found := false
 		for _, n := range s.net.Link(cur).Next {
@@ -228,19 +284,32 @@ func (s *Simulation) newVehicle(id int, spec VehicleSpec) (*vehicle, error) {
 		caps:       spec.Caps,
 		route:      spec.Route,
 		rng:        sim.Stream(s.cfg.Seed, fmt.Sprintf("traffic-veh-%d", id)),
+		enterAt:    spec.EnterAt,
+		pending:    spec.EnterAt > 0,
+		exitAtEnd:  spec.ExitAtEnd,
 		lastChange: -time.Hour,
 	}
 	veh.chooseNext(s.net)
 	return veh, nil
 }
 
-// chooseNext picks the vehicle's continuation link.
+// chooseNext picks the vehicle's continuation link. An exit-at-end
+// vehicle on its final route link gets nil: crossing that link's end
+// means leaving traffic, not transitioning.
 func (v *vehicle) chooseNext(net *Network) {
 	l := v.link
 	switch {
 	case l.loops:
 		v.next = l
 	case len(v.route) > 0:
+		if v.exitAtEnd {
+			if v.routePos+1 >= len(v.route) {
+				v.next = nil
+				return
+			}
+			v.next = net.Link(v.route[v.routePos+1])
+			return
+		}
 		v.next = net.Link(v.route[(v.routePos+1)%len(v.route)])
 	case len(l.Next) == 1:
 		v.next = net.Link(l.Next[0])
@@ -279,6 +348,15 @@ func (v *vehicle) record(now time.Duration, rec *trace.Collector) {
 	}
 }
 
+// recordParked writes the pre-entry sample: the entry position with zero
+// speed, so the track holds the vehicle still until injection.
+func (v *vehicle) recordParked(now time.Duration, rec *trace.Collector) {
+	saved := v.v
+	v.v = 0
+	v.record(now, rec)
+	v.v = saved
+}
+
 // sortLane restores ascending-arc order; lanes are nearly sorted every
 // tick, so insertion sort is O(n) amortised.
 func sortLane(list []*vehicle) {
@@ -306,18 +384,45 @@ func (s *Simulation) NumVehicles() int { return len(s.vehs) }
 func (s *Simulation) Step() {
 	dt := s.cfg.Tick.Seconds()
 
-	// 1. Restore per-lane ordering.
+	// 1. Restore per-lane ordering. This must precede injection: the
+	// previous tick's link transitions insert vehicles by their stale
+	// pre-update arcs, so until this pass the lists are only nearly
+	// sorted and a binary search could report the wrong entry leader.
 	for li := range s.lanes {
 		for lane := range s.lanes[li] {
 			sortLane(s.lanes[li][lane])
 		}
 	}
 
-	// 2. Car-following accelerations.
+	// 1b. Inject pending vehicles whose entry time has arrived (ID
+	// order), but only once their entry slot has safe bumper gaps: under
+	// saturation a queue can stand on the origin, and materialising a
+	// vehicle inside it would overlap trajectories (and let the entrant
+	// leapfrog a stopped leader on its first tick). A blocked vehicle
+	// simply stays parked and retries next tick — spillback delaying
+	// demand, deterministically. Sorted insertion into the sorted lists
+	// keeps the ordering for everything downstream. The activation
+	// sample is recorded with the others at the END of the step (via the
+	// changed flag): in live mode samples must never be stamped earlier
+	// than the engine instant they appear at, or a protocol event
+	// landing inside this tick would see different positions live
+	// versus replayed.
+	for _, veh := range s.vehs {
+		if veh.pending && veh.enterAt <= s.now && s.entryClear(veh, dt) {
+			veh.pending = false
+			s.insertIntoLane(veh)
+			veh.changed = true
+		}
+	}
+
+	// 2. Advance actuated signal controllers on the sorted pre-tick
+	// state, then compute car-following accelerations against the
+	// resulting displays.
+	s.stepSignals()
 	for li := range s.lanes {
 		l := s.net.Links[li]
 		stopLine := l.Length() - s.cfg.StopMarginM
-		red := l.Signal != NoSignal && !s.net.Signals[l.Signal].GreenFor(l.ID, s.now)
+		red := !s.linkGreen(l)
 		for lane := range s.lanes[li] {
 			list := s.lanes[li][lane]
 			for i, veh := range list {
@@ -359,6 +464,9 @@ func (s *Simulation) Step() {
 	// 3. MOBIL lane changes, in vehicle-ID order.
 	if !s.cfg.DisableLaneChanges {
 		for _, veh := range s.vehs {
+			if veh.pending || veh.exited {
+				continue
+			}
 			s.maybeChangeLane(veh)
 		}
 	}
@@ -366,6 +474,9 @@ func (s *Simulation) Step() {
 	// 4. Integrate. Positions move with the pre-update speed so one-tick
 	// linear extrapolation of a sample is exact (see package doc).
 	for _, veh := range s.vehs {
+		if veh.pending || veh.exited {
+			continue
+		}
 		newArc := veh.arc + veh.v*dt
 		veh.v = math.Max(0, veh.v+veh.a*dt)
 		l := veh.link
@@ -375,6 +486,16 @@ func (s *Simulation) Step() {
 			}
 		} else {
 			for newArc >= l.Length() {
+				if veh.exitAtEnd && veh.next == nil {
+					// Destination reached: leave traffic and park at the
+					// link end; the final sample pins the position there.
+					s.removeFromLane(veh)
+					veh.exited = true
+					veh.v, veh.a = 0, 0
+					newArc = l.Length()
+					veh.changed = true
+					break
+				}
 				newArc -= l.Length()
 				s.removeFromLane(veh)
 				if len(veh.route) > 0 {
@@ -393,16 +514,115 @@ func (s *Simulation) Step() {
 		veh.arc = newArc
 	}
 
-	// 5. Advance the clock and record samples.
+	// 5. Advance the clock and record samples. Parked vehicles (pending
+	// entry, or exited and already pinned) record nothing.
 	s.tick++
 	s.now += s.cfg.Tick
 	atSample := s.tick%s.cfg.RecordEvery == 0
 	for _, veh := range s.vehs {
+		if veh.pending || (veh.exited && !veh.changed) {
+			continue
+		}
 		if atSample || veh.changed {
 			veh.record(s.now, s.cfg.Recorder)
 			veh.changed = false
 		}
 	}
+}
+
+// entryClear reports whether a pending vehicle's entry slot is safe:
+// the would-be leader must leave the entrant's standstill gap plus the
+// distance the entrant covers on its first tick (positions move with
+// the pre-update speed, so this is what prevents day-one overlap), and
+// the would-be follower must keep its own standstill gap.
+func (s *Simulation) entryClear(veh *vehicle, dt float64) bool {
+	list := s.lanes[veh.link.ID][veh.lane]
+	leader, follower := laneNeighbors(list, veh, veh.link)
+	if leader != nil && gapAhead(veh, leader, veh.link) < veh.drv.MinGapM+veh.v*dt {
+		return false
+	}
+	if follower != nil && gapAhead(follower, veh, veh.link) < follower.drv.MinGapM {
+		return false
+	}
+	return true
+}
+
+// stepSignals advances every actuated signal's controller by one tick:
+// clearance first, then min-green hold, then presence-based extension
+// until the stop-line detector empties (gap-out) or MaxGreen is reached
+// (max-out).
+func (s *Simulation) stepSignals() {
+	for i, sig := range s.net.Signals {
+		ap := sig.Actuated
+		if ap == nil {
+			continue
+		}
+		st := &s.actuated[i]
+		if st.inClear {
+			if s.now < st.clearUntil {
+				continue
+			}
+			st.inClear = false
+			st.phase = (st.phase + 1) % len(sig.Phases)
+			st.greenStart = s.now
+		}
+		elapsed := s.now - st.greenStart
+		if elapsed < ap.MinGreen {
+			continue
+		}
+		if elapsed < ap.MaxGreen && s.detectorOccupied(sig.Phases[st.phase].Green, ap.DetectorM) {
+			continue
+		}
+		st.inClear = true
+		st.clearUntil = s.now + ap.AllRed
+	}
+}
+
+// detectorOccupied reports whether any vehicle sits within the last
+// detectorM metres of any lane of the given links — the stop-line
+// presence sensor actuated control extends green on. Lanes are sorted
+// ascending by arc, so only each lane's front vehicle needs checking.
+func (s *Simulation) detectorOccupied(links []LinkID, detectorM float64) bool {
+	for _, id := range links {
+		cut := s.net.Links[id].Length() - detectorM
+		for _, lane := range s.lanes[id] {
+			if n := len(lane); n > 0 && lane[n-1].arc >= cut {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// linkGreen reports whether the link's downstream signal currently shows
+// it green (links without a signal are always green). Fixed-cycle
+// signals evaluate their schedule; actuated signals consult the
+// controller state.
+func (s *Simulation) linkGreen(l *Link) bool {
+	if l.Signal == NoSignal {
+		return true
+	}
+	sig := s.net.Signals[l.Signal]
+	if sig.Actuated == nil {
+		return sig.GreenFor(l.ID, s.now)
+	}
+	st := &s.actuated[sig.ID]
+	if st.inClear {
+		return false
+	}
+	for _, g := range sig.Phases[st.phase].Green {
+		if g == l.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// SignalGreen reports whether the given link currently sees green —
+// fixed-cycle or actuated. Tests use it to observe actuated phase
+// timing from outside.
+func (s *Simulation) SignalGreen(link LinkID) bool {
+	return s.linkGreen(s.net.Link(link))
 }
 
 // maybeChangeLane applies the simplified MOBIL rule to one vehicle.
@@ -431,7 +651,7 @@ func (s *Simulation) maybeChangeLane(veh *vehicle) {
 			}
 			aNew = math.Min(aNew, veh.drv.IDMAccel(veh.v, leader.v, gap, v0))
 		}
-		red := l.Signal != NoSignal && !s.net.Signals[l.Signal].GreenFor(l.ID, s.now)
+		red := !s.linkGreen(l)
 		if stopLine := l.Length() - s.cfg.StopMarginM; red && veh.arc < stopLine {
 			aNew = math.Min(aNew, veh.drv.IDMAccel(veh.v, 0, stopLine-veh.arc, v0))
 		}
@@ -655,19 +875,32 @@ func (s *Simulation) PositionNow(id int) geom.Point {
 	return veh.link.LanePoint(veh.lane, veh.arc)
 }
 
-// MeanSpeedMPS averages the instantaneous speeds.
+// MeanSpeedMPS averages the instantaneous speeds of the vehicles in
+// traffic (pending and exited vehicles are parked, not traffic).
 func (s *Simulation) MeanSpeedMPS() float64 {
 	var sum float64
+	active := 0
 	for _, veh := range s.vehs {
+		if veh.pending || veh.exited {
+			continue
+		}
 		sum += veh.v
+		active++
 	}
-	return sum / float64(len(s.vehs))
+	if active == 0 {
+		return 0
+	}
+	return sum / float64(active)
 }
 
-// StoppedCount returns how many vehicles move slower than threshold.
+// StoppedCount returns how many in-traffic vehicles move slower than
+// threshold.
 func (s *Simulation) StoppedCount(thresholdMPS float64) int {
 	n := 0
 	for _, veh := range s.vehs {
+		if veh.pending || veh.exited {
+			continue
+		}
 		if veh.v < thresholdMPS {
 			n++
 		}

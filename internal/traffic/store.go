@@ -9,6 +9,10 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -16,8 +20,10 @@ import (
 // StoreSchema is the on-disk format version. Bump it whenever the trace
 // wire format or the record semantics change: readers reject files written
 // under any other schema, so a stale store degrades to recomputation
-// instead of replaying wrong worlds.
-const StoreSchema = "traffic-trace-store/1"
+// instead of replaying wrong worlds. (/2: cache keys moved to the
+// exhaustive traffic.TraceKey serialisation, and streams may now hold
+// demand-driven vehicles that enter late and exit at their destination.)
+const StoreSchema = "traffic-trace-store/2"
 
 // storeHeader is the first line of every store file. The full cache key
 // is embedded so hash collisions in the file name can never alias two
@@ -42,8 +48,18 @@ type storeHeader struct {
 // Files are written atomically (temp file + rename), so concurrent
 // writers of the same key race benignly: one of the identical byte
 // streams wins.
+//
+// An optional byte budget (SetMaxBytes) bounds the on-disk size: after
+// every Save the least-recently-used entries are evicted until the store
+// fits. Recency is file mtime — Load refreshes it — so long sweep
+// campaigns keep their hot worlds and shed the ones no arm asks for
+// anymore. The default is no budget (eviction off).
 type Store struct {
-	dir string
+	dir      string
+	maxBytes int64
+	// evictMu serialises eviction scans so concurrent Saves in one
+	// process do not double-delete.
+	evictMu sync.Mutex
 }
 
 // NewStore opens (creating if needed) a store rooted at dir.
@@ -59,6 +75,13 @@ func NewStore(dir string) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetMaxBytes installs a total-size budget over the store's trace files:
+// every Save then evicts least-recently-used entries (by mtime; Load
+// refreshes it) until the store fits. n <= 0 — the default — disables
+// eviction. Install the budget before handing the store to concurrent
+// users; it is not synchronised against in-flight Saves.
+func (s *Store) SetMaxBytes(n int64) { s.maxBytes = n }
 
 // Path returns the file a key stores under. The name is a 64-bit FNV-1a
 // hash of the key; collisions are harmless because Load verifies the
@@ -108,6 +131,11 @@ func (s *Store) Load(key string) (*trace.Collector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("traffic: store %s: %w", s.Path(key), err)
 	}
+	// A successful read refreshes the entry's recency, so eviction under
+	// a byte budget never victimises the world a sweep is actively
+	// replaying. Best effort: a read-only store still serves.
+	now := time.Now()
+	_ = os.Chtimes(s.Path(key), now, now)
 	return col, nil
 }
 
@@ -151,5 +179,59 @@ func (s *Store) Save(key string, col *trace.Collector) error {
 	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
 		return fmt.Errorf("traffic: store: %w", err)
 	}
+	s.evict(s.Path(key))
 	return nil
+}
+
+// evict removes least-recently-used trace files until the store fits its
+// byte budget. The keep path — the entry just written — is never
+// removed, so a budget smaller than a single stream still serves that
+// stream. Best effort throughout: an unreadable directory or a failed
+// delete only leaves the store bigger, never fails a sweep.
+func (s *Store) evict(keep string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".trace.jsonl") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(s.dir, e.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	// Oldest first; equal mtimes break by name so the order is stable.
+	sort.Slice(files, func(i, j int) bool {
+		if !files[i].mtime.Equal(files[j].mtime) {
+			return files[i].mtime.Before(files[j].mtime)
+		}
+		return files[i].path < files[j].path
+	})
+	for _, f := range files {
+		if total <= s.maxBytes {
+			return
+		}
+		if f.path == keep {
+			continue
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+		}
+	}
 }

@@ -183,6 +183,140 @@ func TestStoreRejectsTruncatedAndCorrupt(t *testing.T) {
 	}
 }
 
+// storeFileSize returns the on-disk size of one saved entry, for sizing
+// eviction budgets.
+func storeFileSize(t *testing.T, st *Store, key string) int64 {
+	t.Helper()
+	info, err := os.Stat(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+// ageEntry pushes a stored entry's mtime into the past so eviction-order
+// tests are deterministic regardless of filesystem timestamp resolution.
+func ageEntry(t *testing.T, st *Store, key string, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(st.Path(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreEvictionDefaultOff pins the default: without a budget the
+// store grows without bound and never deletes anything.
+func TestStoreEvictionDefaultOff(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := storeTestStream(t)
+	for _, key := range []string{"a", "b", "c"} {
+		if err := st.Save(key, col); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if got, err := st.Load(key); err != nil || got == nil {
+			t.Fatalf("entry %q missing with eviction off: %v", key, err)
+		}
+	}
+}
+
+// TestStoreEvictionRespectsBudget fills the store past its byte cap and
+// checks the oldest entries go first while the store shrinks under the
+// budget.
+func TestStoreEvictionRespectsBudget(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := storeTestStream(t)
+	if err := st.Save("old", col); err != nil {
+		t.Fatal(err)
+	}
+	size := storeFileSize(t, st, "old")
+	st.SetMaxBytes(2*size + size/2) // room for two entries, not three
+	ageEntry(t, st, "old", 2*time.Hour)
+	if err := st.Save("mid", col); err != nil {
+		t.Fatal(err)
+	}
+	ageEntry(t, st, "mid", time.Hour)
+	if err := st.Save("new", col); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load("old"); err != nil || got != nil {
+		t.Fatalf("oldest entry survived eviction (col=%v err=%v)", got != nil, err)
+	}
+	for _, key := range []string{"mid", "new"} {
+		if got, err := st.Load(key); err != nil || got == nil {
+			t.Fatalf("entry %q evicted although the budget had room: %v", key, err)
+		}
+	}
+}
+
+// TestStoreEvictionSparesEntryBeingRead is the issue's acceptance test:
+// a Load refreshes an entry's recency, so the eviction triggered by a
+// later Save victimises a colder entry — never the one a sweep is
+// actively reading.
+func TestStoreEvictionSparesEntryBeingRead(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := storeTestStream(t)
+	if err := st.Save("hot", col); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("cold", col); err != nil {
+		t.Fatal(err)
+	}
+	size := storeFileSize(t, st, "hot")
+	st.SetMaxBytes(2*size + size/2)
+	// Make "hot" nominally the older file, then read it: the Load must
+	// bump its recency above "cold".
+	ageEntry(t, st, "hot", 2*time.Hour)
+	ageEntry(t, st, "cold", time.Hour)
+	if got, err := st.Load("hot"); err != nil || got == nil {
+		t.Fatalf("hot entry unreadable before eviction: %v", err)
+	}
+	if err := st.Save("trigger", col); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load("hot"); err != nil || got == nil {
+		t.Fatalf("eviction removed the entry being read (col=%v err=%v)", got != nil, err)
+	}
+	if got, err := st.Load("cold"); err != nil || got != nil {
+		t.Fatal("eviction spared the cold entry instead of the hot one")
+	}
+}
+
+// TestStoreEvictionSparesJustSaved: a budget smaller than a single
+// stream must still serve the stream just written — eviction never
+// removes the entry that triggered it.
+func TestStoreEvictionSparesJustSaved(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := storeTestStream(t)
+	if err := st.Save("first", col); err != nil {
+		t.Fatal(err)
+	}
+	st.SetMaxBytes(storeFileSize(t, st, "first") / 2)
+	ageEntry(t, st, "first", time.Hour)
+	if err := st.Save("second", col); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := st.Load("second"); err != nil || got == nil {
+		t.Fatalf("the just-saved entry was evicted by its own save: %v", err)
+	}
+	if got, err := st.Load("first"); err != nil || got != nil {
+		t.Fatal("over-budget older entry survived")
+	}
+}
+
 func TestStoreSaveIsAtomic(t *testing.T) {
 	dir := t.TempDir()
 	st, err := NewStore(dir)

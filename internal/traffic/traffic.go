@@ -1,10 +1,15 @@
 // Package traffic simulates microscopic closed-loop vehicle dynamics:
 // IDM car-following with per-driver parameter profiles, a MOBIL-style
-// lane-change rule, and a road network of links, lanes and fixed-cycle
-// signalized intersections. It exists so scenarios can stop hand-tuning
-// open-loop speed zones and instead get congestion, queue compression at
-// red lights, and stop-and-go waves from actual vehicle interactions,
-// then expose each vehicle to the protocol stack as a mobility.Model.
+// lane-change rule, and a road network of links, lanes and signalized
+// intersections (fixed-cycle or queue-actuated). It exists so scenarios
+// can stop hand-tuning open-loop speed zones and instead get congestion,
+// queue compression at red lights, and stop-and-go waves from actual
+// vehicle interactions, then expose each vehicle to the protocol stack
+// as a mobility.Model. Populations come either from explicit specs or
+// from an origin–destination demand table (ExpandDemand): Poisson
+// injection per OD flow, shortest-path routes, exit at the destination —
+// rush corridors and empty side streets instead of statistically flat
+// random walks.
 //
 // # Design note
 //
