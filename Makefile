@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check
+.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume sweepd-smoke
 
 all: build test
 
@@ -44,6 +44,17 @@ bench-json:
 # only), so CI can gate on it without re-running benchmarks.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare
+
+# Resume gate: one small sweep twice against a shared result store; the
+# second run must compute zero units and reproduce the first byte for
+# byte (timings.json provenance sidecar excluded).
+sweep-resume:
+	sh scripts/ci_sweep_resume.sh
+
+# Results-API smoke: sweep, start sweepd, check catalogue, typed
+# content types and the ETag/If-None-Match 304 contract.
+sweepd-smoke:
+	sh scripts/ci_sweepd_smoke.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \

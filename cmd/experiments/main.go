@@ -10,12 +10,22 @@
 //
 //	experiments [-exp all|<name>[,<name>...]] [-rounds 30] [-seed 1]
 //	            [-out results] [-workers N] [-list]
+//	            [-result-store dir] [-code-digest id]
 //	            [-traffic-store dir] [-traffic-store-cap bytes]
 //	            [-cpuprofile file] [-memprofile file]
 //
 // Outputs are written to the -out directory as plain-text reports,
 // gnuplot-ready .dat series and SVG figures, plus a machine-readable
-// manifest.json describing every experiment, seed and output file.
+// manifest.json describing every experiment, seed and output file and a
+// timings.json sidecar with run provenance. The shared sweep flags
+// (rounds, seed, out, workers, stores) are bound from harness.Options,
+// the same struct cmd/sweepd binds, so both binaries configure one way.
+//
+// -result-store points work-unit resolution at a content-addressed
+// on-disk store of unit results keyed by root seed, unit identity and
+// config/code digests: re-running a sweep only computes units whose key
+// changed, an interrupted sweep resumes where it stopped, and several
+// processes shard one sweep by sharing the directory.
 //
 // -traffic-store points the traffic scenarios' record-once-replay-many
 // path at an on-disk precomputed-trace store: the first run of a sweep
@@ -42,17 +52,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
+	opts := harness.DefaultOptions()
+	opts.Bind(flag.CommandLine)
 	var (
-		exp          = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
-		rounds       = flag.Int("rounds", 30, "rounds for the canonical testbed experiments")
-		seed         = flag.Int64("seed", 1, "root random seed")
-		out          = flag.String("out", "results", "output directory")
-		workers      = flag.Int("workers", 0, "concurrent work units (0: GOMAXPROCS)")
-		list         = flag.Bool("list", false, "print the experiment catalogue and exit")
-		trafficStore = flag.String("traffic-store", "", "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
-		storeCap     = flag.Int64("traffic-store-cap", 0, "byte budget of the traffic-trace store: least-recently-used traces are evicted past it (0: unbounded)")
-		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
-		memProfile   = flag.String("memprofile", "", "write a pprof allocation profile at the end of the run to this file")
+		exp        = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
+		list       = flag.Bool("list", false, "print the experiment catalogue and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at the end of the run to this file")
 	)
 	flag.Parse()
 
@@ -65,14 +71,15 @@ func main() {
 	// which would skip the profiling defers and leave a truncated
 	// cpu.pprof / missing mem.pprof on the very failing sweeps the
 	// profiling mode exists to debug.
-	if err := run(*exp, *rounds, *seed, *out, *workers, *trafficStore, *storeCap, *cpuProfile, *memProfile); err != nil {
+	if err := run(*exp, opts, *cpuProfile, *memProfile); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp string, rounds int, seed int64, out string, workers int, trafficStore string, storeCap int64, cpuProfile, memProfile string) (err error) {
-	if trafficStore != "" {
-		if err := scenario.SetTrafficTraceStore(trafficStore, storeCap); err != nil {
+func run(exp string, opts harness.Options, cpuProfile, memProfile string) (err error) {
+	opts.Logf = log.Printf
+	if opts.TrafficStore != "" {
+		if err := scenario.SetTrafficTraceStore(opts.TrafficStore, opts.TrafficStoreCap); err != nil {
 			return err
 		}
 	}
@@ -104,13 +111,7 @@ func run(exp string, rounds int, seed int64, out string, workers int, trafficSto
 		}()
 	}
 
-	runner, err := harness.NewRunner(harness.Config{
-		Rounds:  rounds,
-		Seed:    seed,
-		OutDir:  out,
-		Workers: workers,
-		Logf:    log.Printf,
-	})
+	runner, err := harness.NewRunner(opts)
 	if err != nil {
 		return err
 	}

@@ -82,7 +82,7 @@ func TestHarnessSmoke(t *testing.T) {
 		t.Skip("simulation rounds in -short mode")
 	}
 	dir := t.TempDir()
-	runner, err := harness.NewRunner(harness.Config{
+	runner, err := harness.NewRunner(harness.Options{
 		Rounds: 2,
 		Seed:   1,
 		OutDir: dir,
@@ -148,7 +148,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 	}
 	run := func(workers int) map[string]string {
 		dir := t.TempDir()
-		runner, err := harness.NewRunner(harness.Config{
+		runner, err := harness.NewRunner(harness.Options{
 			Rounds: 2, Seed: 5, OutDir: dir, Workers: workers,
 		})
 		if err != nil {
@@ -163,9 +163,11 @@ func TestWorkerCountInvariance(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, e := range entries {
-			if e.Name() == "manifest.json" {
-				continue // contains wall-clock timings
+			if e.Name() == "timings.json" {
+				continue // the provenance sidecar holds wall-clock timings
 			}
+			// manifest.json stays in: since the schema-2 split it is a
+			// pure function of the run's inputs, worker count included.
 			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
 			if err != nil {
 				t.Fatal(err)

@@ -130,11 +130,11 @@ func table1AndFigures(c *harness.Context) error {
 		return err
 	}
 
-	if err := c.WriteFile("table1.txt", report.Table1(res)); err != nil {
+	if err := c.Emit("table1.txt", harness.OutputRaw, report.Table1(res)); err != nil {
 		return err
 	}
 	// The reproduction's Figure 2: the testbed map.
-	if err := c.WriteFile("fig2_map.svg", report.TestbedMapSVG()); err != nil {
+	if err := c.Emit("fig2_map.svg", harness.OutputPlot, report.TestbedMapSVG()); err != nil {
 		return err
 	}
 
@@ -144,13 +144,13 @@ func table1AndFigures(c *harness.Context) error {
 			return err
 		}
 		name := fmt.Sprintf("fig%d", 3+i)
-		if err := c.WriteFile(name+".txt", fig.String()); err != nil {
+		if err := c.Emit(name+".txt", harness.OutputRaw, fig.String()); err != nil {
 			return err
 		}
-		if err := c.WriteFile(name+".dat", fig.GnuplotData()); err != nil {
+		if err := c.Emit(name+".dat", harness.OutputTable, fig.GnuplotData()); err != nil {
 			return err
 		}
-		if err := c.WriteFile(name+".svg", fig.SVG()); err != nil {
+		if err := c.Emit(name+".svg", harness.OutputPlot, fig.SVG()); err != nil {
 			return err
 		}
 	}
@@ -160,13 +160,13 @@ func table1AndFigures(c *harness.Context) error {
 			return err
 		}
 		name := fmt.Sprintf("fig%d", 6+i)
-		if err := c.WriteFile(name+".txt", fig.String()); err != nil {
+		if err := c.Emit(name+".txt", harness.OutputRaw, fig.String()); err != nil {
 			return err
 		}
-		if err := c.WriteFile(name+".dat", fig.GnuplotData()); err != nil {
+		if err := c.Emit(name+".dat", harness.OutputTable, fig.GnuplotData()); err != nil {
 			return err
 		}
-		if err := c.WriteFile(name+".svg", fig.SVG()); err != nil {
+		if err := c.Emit(name+".svg", harness.OutputPlot, fig.SVG()); err != nil {
 			return err
 		}
 	}
@@ -212,7 +212,7 @@ func batchAblation(c *harness.Context) error {
 			"", rows[0].LostAfterPct(), rows[1].LostAfterPct(), rows[2].LostAfterPct(),
 			stats.Mean(lat), len(lat))
 	}
-	return c.WriteFile("ablation_batch.txt", out.String())
+	return c.Emit("ablation_batch.txt", harness.OutputRaw, out.String())
 }
 
 // selectionAblation compares cooperator-selection policies (the paper's
@@ -253,7 +253,7 @@ func selectionAblation(c *harness.Context) error {
 		fmt.Fprintf(&out, "%-22s mean post-coop loss=%.1f%% mean improvement=%.2f responses=%d\n",
 			tc.name, post/float64(len(rows)), impr/float64(len(rows)), o.ResponseTx)
 	}
-	return c.WriteFile("ablation_selection.txt", out.String())
+	return c.Emit("ablation_selection.txt", harness.OutputRaw, out.String())
 }
 
 // apRetxAblation compares pure C-ARQ with spending coverage time on
@@ -303,7 +303,7 @@ func apRetxAblation(c *harness.Context) error {
 		fmt.Fprintf(&out, "%-22s distinct held/car/round=%.1f of %.1f offered (%.1f%%)\n",
 			tc.name, held/n, offered/n, 100*held/offered)
 	}
-	return c.WriteFile("ablation_apretx.txt", out.String())
+	return c.Emit("ablation_apretx.txt", harness.OutputRaw, out.String())
 }
 
 // platoonSweep measures residual loss versus platoon size (diversity).
@@ -343,10 +343,10 @@ func platoonSweep(c *harness.Context) error {
 		fmt.Fprintf(&out, "%4d  %9.1f  %10.1f  %11.2f\n", cars, pre, post, impr)
 		fmt.Fprintf(&dat, "%d %g %g\n", cars, pre, post)
 	}
-	if err := c.WriteFile("ext_platoon.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_platoon.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_platoon.txt", out.String())
+	return c.Emit("ext_platoon.txt", harness.OutputRaw, out.String())
 }
 
 // download measures AP visits needed to assemble a file, with and without
@@ -383,7 +383,7 @@ func download(c *harness.Context) error {
 		}
 		out.WriteString("\n")
 	}
-	return c.WriteFile("ext_download.txt", out.String())
+	return c.Emit("ext_download.txt", harness.OutputRaw, out.String())
 }
 
 // bitrateSweep asks the paper's "can C-ARQ let the AP use a higher bit
@@ -419,7 +419,7 @@ func bitrateSweep(c *harness.Context) error {
 		n := float64(len(rows))
 		fmt.Fprintf(&out, "%-17s %9.1f  %10.1f  %19.1f\n", mod.Name, pre/n, post/n, delivered/n)
 	}
-	return c.WriteFile("ext_bitrate.txt", out.String())
+	return c.Emit("ext_bitrate.txt", harness.OutputRaw, out.String())
 }
 
 // epidemicComparison pits C-ARQ against push-based epidemic flooding.
@@ -462,7 +462,7 @@ func epidemicComparison(c *harness.Context) error {
 		fmt.Fprintf(&out, "%-10s mean residual loss=%.1f%%  recovery transmissions=%d (%d B)\n",
 			tc.name, post/float64(len(rows)), o.ResponseTx+o.RequestTx, o.ResponseBytes+o.RequestBytes)
 	}
-	return c.WriteFile("ext_epidemic.txt", out.String())
+	return c.Emit("ext_epidemic.txt", harness.OutputRaw, out.String())
 }
 
 // highwaySweep reproduces the drive-thru loss-versus-speed relationship.
@@ -499,10 +499,10 @@ func highwaySweep(c *harness.Context) error {
 		fmt.Fprintf(&out, "%11.0f  %12.0f  %9.1f  %10.1f\n", kmh, tx/n, pre/n, post/n)
 		fmt.Fprintf(&dat, "%g %g %g %g\n", kmh, tx/n, pre/n, post/n)
 	}
-	if err := c.WriteFile("ext_highway.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_highway.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_highway.txt", out.String())
+	return c.Emit("ext_highway.txt", harness.OutputRaw, out.String())
 }
 
 // frameCombining evaluates the C-ARQ/FC extension (reference [12]): soft
@@ -544,7 +544,7 @@ func frameCombining(c *harness.Context) error {
 		n := float64(len(rows))
 		fmt.Fprintf(&out, "%-20s mean pre-coop=%.1f%%  mean post-coop=%.1f%%\n", tc.name, pre/n, post/n)
 	}
-	return c.WriteFile("ext_combining.txt", out.String())
+	return c.Emit("ext_combining.txt", harness.OutputRaw, out.String())
 }
 
 // adaptiveRepeats evaluates the cooperator-adaptive AP retransmission
@@ -590,7 +590,7 @@ func adaptiveRepeats(c *harness.Context) error {
 		}
 		fmt.Fprintf(&out, "%4d  %-12s %10.1f\n", tc.cars, tc.name, post/float64(len(rows)))
 	}
-	return c.WriteFile("ext_adaptive.txt", out.String())
+	return c.Emit("ext_adaptive.txt", harness.OutputRaw, out.String())
 }
 
 // corridor evaluates the Figure-1 multi-Infostation deployment: coverage
@@ -629,7 +629,7 @@ func corridor(c *harness.Context) error {
 		}
 		out.WriteString("\n")
 	}
-	return c.WriteFile("ext_corridor.txt", out.String())
+	return c.Emit("ext_corridor.txt", harness.OutputRaw, out.String())
 }
 
 // recruitmentTTL sweeps the cooperator staleness timeout. The default
@@ -668,7 +668,7 @@ func recruitmentTTL(c *harness.Context) error {
 		rows := report.Table1Rows(res)
 		fmt.Fprintf(&out, "%-6v %13.4f %17.1f\n", ttl, meanGap, rows[2].LostAfterPct())
 	}
-	return c.WriteFile("ablation_ttl.txt", out.String())
+	return c.Emit("ablation_ttl.txt", harness.OutputRaw, out.String())
 }
 
 // recoveryDynamics renders how each car's missing list drains during the
@@ -722,7 +722,7 @@ func recoveryDynamics(c *harness.Context) error {
 	}
 	// Derive the Y range from the data (counts, not probabilities).
 	chart.FitY(0.05)
-	if err := c.WriteFile("ext_dynamics.svg", chart.SVG()); err != nil {
+	if err := c.Emit("ext_dynamics.svg", harness.OutputPlot, chart.SVG()); err != nil {
 		return err
 	}
 	var dat strings.Builder
@@ -730,10 +730,10 @@ func recoveryDynamics(c *harness.Context) error {
 		dat.WriteString(s.GnuplotData())
 		dat.WriteString("\n\n")
 	}
-	if err := c.WriteFile("ext_dynamics.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_dynamics.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_dynamics.txt", out.String())
+	return c.Emit("ext_dynamics.txt", harness.OutputRaw, out.String())
 }
 
 // trafficGrid evaluates the microscopic urban-grid scenario (A15): a
@@ -802,10 +802,10 @@ func trafficGrid(c *harness.Context) error {
 	for i, row := range rows {
 		fmt.Fprintf(&out, "  car%d: pre=%.1f%% post=%.1f%%\n", i+1, row.LostBeforePct(), row.LostAfterPct())
 	}
-	if err := c.WriteFile("ext_trafficgrid.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_trafficgrid.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_trafficgrid.txt", out.String())
+	return c.Emit("ext_trafficgrid.txt", harness.OutputRaw, out.String())
 }
 
 // stopGo evaluates the congested-highway scenario (A16): an upstream
@@ -870,10 +870,10 @@ func stopGo(c *harness.Context) error {
 		}
 		fmt.Fprintf(&dat, "%d %g %g %g %g %d\n", coopFlag, speed/nr, crawl/nr, pre/n, post/n, recoveries)
 	}
-	if err := c.WriteFile("ext_stopgo.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_stopgo.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_stopgo.txt", out.String())
+	return c.Emit("ext_stopgo.txt", harness.OutputRaw, out.String())
 }
 
 // cityScale evaluates the city-scale scenario (A17): a 10-car C-ARQ
@@ -942,10 +942,10 @@ func cityScale(c *harness.Context) error {
 		}
 		fmt.Fprintf(&dat, "%d %d %d %g %g %d\n", tc.background, coopFlag, res.Stations(), pre/n, post/n, recoveries)
 	}
-	if err := c.WriteFile("ext_cityscale.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_cityscale.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_cityscale.txt", out.String())
+	return c.Emit("ext_cityscale.txt", harness.OutputRaw, out.String())
 }
 
 // cityDemand evaluates the demand-driven city scenario (A18): the
@@ -1025,10 +1025,10 @@ func cityDemand(c *harness.Context) error {
 		fmt.Fprintf(&dat, "%g %d %g %g %g %g %g %d\n",
 			tc.scale, actFlag, vehicles, speed/nr, crawl/nr, pre/n, post/n, recoveries)
 	}
-	if err := c.WriteFile("ext_citydemand.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_citydemand.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_citydemand.txt", out.String())
+	return c.Emit("ext_citydemand.txt", harness.OutputRaw, out.String())
 }
 
 // twoWay evaluates the two-way highway extension: opposing-traffic relay
@@ -1097,8 +1097,8 @@ func twoWay(c *harness.Context) error {
 			fmt.Fprintf(&dat, "%d %g %g %g\n", tc.relays, pre/n, post/n, share)
 		}
 	}
-	if err := c.WriteFile("ext_twoway.dat", dat.String()); err != nil {
+	if err := c.Emit("ext_twoway.dat", harness.OutputTable, dat.String()); err != nil {
 		return err
 	}
-	return c.WriteFile("ext_twoway.txt", out.String())
+	return c.Emit("ext_twoway.txt", harness.OutputRaw, out.String())
 }

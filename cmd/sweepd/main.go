@@ -1,0 +1,67 @@
+// Command sweepd serves a sweep's results over HTTP — the
+// heavy-traffic face of the experiment harness. It sits on the same
+// output directory (and optional content-addressed result store) that
+// cmd/experiments writes, configured through the same harness.Options
+// flags, and serves:
+//
+//	/api/catalogue   the manifest as an API: every experiment, every
+//	                 output with URL, typed kind, size and ETag
+//	/api/manifest    raw manifest.json
+//	/api/store       result-store summary (entries, bytes)
+//	/outputs/<file>  one study output, content type from its recorded
+//	                 kind (raw/table: text/plain, plot: image/svg+xml)
+//	/bench/          the committed BENCH_<n>.json perf snapshots
+//	/healthz         liveness
+//
+// Every output's ETag is the content hash the harness recorded in the
+// manifest, so conditional GETs (If-None-Match) answer 304 without
+// reading the file. The manifest is reloaded when it changes on disk:
+// sweepd can keep serving while experiment processes shard new work
+// into the same directory behind it.
+//
+// Usage:
+//
+//	sweepd [-addr :8080] [-out results] [-result-store dir]
+//	       [-bench-dir .] (plus the shared sweep flags)
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepd: ")
+
+	opts := harness.DefaultOptions()
+	opts.Bind(flag.CommandLine)
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		benchDir = flag.String("bench-dir", ".", "directory of the committed BENCH_<n>.json snapshots")
+	)
+	flag.Parse()
+
+	opts, err := opts.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var store *harness.ResultStore
+	if opts.ResultStore != "" {
+		if store, err = harness.NewResultStore(opts.ResultStore); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	s := newServer(opts.OutDir, *benchDir, store)
+	if err := s.refresh(); err != nil {
+		// Not fatal: the producer may not have written a manifest yet;
+		// handlers answer 503 until one appears.
+		log.Printf("%v", err)
+	}
+	log.Printf("serving %s on %s", opts.OutDir, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.routes()))
+}

@@ -4,58 +4,56 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
-// Config parameterises one harness run.
-type Config struct {
-	// Rounds is the requested round count for the canonical experiments;
-	// studies may cap it per point (see Context.CappedRounds).
-	Rounds int
-	// Seed roots all randomness. Every work unit derives its own
-	// deterministic streams from it.
-	Seed int64
-	// OutDir receives every report, data series and the manifest.
-	OutDir string
-	// Workers bounds concurrent work units; <= 0 means GOMAXPROCS.
-	Workers int
-	// Logf, when non-nil, receives progress lines.
-	Logf func(format string, args ...any)
-}
-
-// Runner executes registered experiments through a shared worker pool and
-// accumulates the run manifest.
+// Runner executes registered experiments through a shared worker pool,
+// resolves each work unit against the optional content-addressed result
+// store, and accumulates the run manifest plus its timings sidecar.
 type Runner struct {
-	cfg      Config
+	opts     Options
 	pool     *Pool
+	store    *ResultStore
 	manifest *Manifest
+	timings  *Timings
 }
 
-// NewRunner validates cfg, creates the output directory and returns a
-// ready runner.
-func NewRunner(cfg Config) (*Runner, error) {
-	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("harness: non-positive rounds %d", cfg.Rounds)
+// NewRunner validates opts, creates the output directory (and the
+// result store, when configured) and returns a ready runner.
+func NewRunner(opts Options) (*Runner, error) {
+	opts, err := opts.Validate()
+	if err != nil {
+		return nil, err
 	}
-	if cfg.OutDir == "" {
-		return nil, fmt.Errorf("harness: empty output directory")
+	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: creating %s: %w", opts.OutDir, err)
 	}
-	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
-		return nil, fmt.Errorf("harness: creating %s: %w", cfg.OutDir, err)
+	var store *ResultStore
+	if opts.ResultStore != "" {
+		if store, err = NewResultStore(opts.ResultStore); err != nil {
+			return nil, err
+		}
 	}
-	pool := NewPool(cfg.Workers)
+	pool := NewPool(opts.Workers)
 	return &Runner{
-		cfg:  cfg,
-		pool: pool,
+		opts:  opts,
+		pool:  pool,
+		store: store,
 		manifest: &Manifest{
+			Schema: ManifestSchema,
+			Seed:   opts.Seed,
+			Rounds: opts.Rounds,
+		},
+		timings: &Timings{
 			Schema:      ManifestSchema,
-			GeneratedAt: nowRFC3339(),
-			Seed:        cfg.Seed,
-			Rounds:      cfg.Rounds,
+			GeneratedAt: opts.Now().UTC().Format(time.RFC3339),
 			Workers:     pool.Workers(),
+			CodeDigest:  opts.CodeDigest,
 		},
 	}, nil
 }
@@ -66,8 +64,14 @@ func (r *Runner) Workers() int { return r.pool.Workers() }
 // Manifest returns the accumulated manifest.
 func (r *Runner) Manifest() *Manifest { return r.manifest }
 
+// Timings returns the accumulated timings sidecar.
+func (r *Runner) Timings() *Timings { return r.timings }
+
+// Store returns the result store, or nil when none is configured.
+func (r *Runner) Store() *ResultStore { return r.store }
+
 // Run resolves and executes the named experiments in order, then writes
-// the manifest. Unknown names fail before anything runs.
+// the manifest and timings. Unknown names fail before anything runs.
 func (r *Runner) Run(names []string) error {
 	exps := make([]*Experiment, 0, len(names))
 	seen := make(map[*Experiment]bool, len(names))
@@ -101,14 +105,18 @@ func (r *Runner) runOne(e *Experiment) error {
 	rec := &ExperimentRecord{
 		Name:   e.Name,
 		Title:  e.Title,
-		Seed:   r.cfg.Seed,
-		Rounds: r.cfg.Rounds,
+		Seed:   r.opts.Seed,
+		Rounds: r.opts.Rounds,
 	}
 	r.manifest.Experiments = append(r.manifest.Experiments, rec)
+	tim := &ExperimentTiming{Name: e.Name}
+	r.timings.Experiments = append(r.timings.Experiments, tim)
 	ctx := &Context{runner: r, rec: rec}
 	start := time.Now()
 	err := e.Run(ctx)
-	rec.WallMS = time.Since(start).Milliseconds()
+	tim.WallMS = time.Since(start).Milliseconds()
+	tim.UnitsComputed = int(ctx.computed.Load())
+	tim.UnitsCached = int(ctx.cached.Load())
 	// The experiment is done with its results: return every registered
 	// round collector to the scenario pool so the next experiment's
 	// rounds reuse the grown record buffers instead of allocating anew.
@@ -121,14 +129,18 @@ func (r *Runner) runOne(e *Experiment) error {
 	return err
 }
 
-// WriteManifest writes the manifest to <OutDir>/manifest.json.
+// WriteManifest writes manifest.json and its timings.json sidecar to
+// the output directory.
 func (r *Runner) WriteManifest() error {
-	return r.manifest.WriteManifest(filepath.Join(r.cfg.OutDir, "manifest.json"))
+	if err := r.manifest.WriteManifest(filepath.Join(r.opts.OutDir, "manifest.json")); err != nil {
+		return err
+	}
+	return r.timings.WriteTimings(filepath.Join(r.opts.OutDir, "timings.json"))
 }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.cfg.Logf != nil {
-		r.cfg.Logf(format, args...)
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
 	}
 }
 
@@ -143,10 +155,15 @@ type Unit struct {
 }
 
 // Context is an experiment's view of the runner: deterministic seeds,
-// capped rounds, pooled unit execution and manifest-recorded output.
+// capped rounds, pooled unit execution, result-store resolution and
+// manifest-recorded typed outputs.
 type Context struct {
 	runner *Runner
 	rec    *ExperimentRecord
+	// computed counts units this experiment simulated; cached counts
+	// units served from the result store. Units run concurrently.
+	computed atomic.Int64
+	cached   atomic.Int64
 	// recycle holds the per-round protocol-trace slices registered for
 	// return to the scenario trace pool once the experiment finishes.
 	// Slices are registered before units fill them and read afterwards.
@@ -166,7 +183,7 @@ func (c *Context) RecycleTraces(cols []*trace.Collector) {
 }
 
 // Rounds returns the run's requested round count.
-func (c *Context) Rounds() int { return c.runner.cfg.Rounds }
+func (c *Context) Rounds() int { return c.runner.opts.Rounds }
 
 // CappedRounds caps the requested rounds at n, for the ablation studies
 // that historically bounded their cost.
@@ -181,7 +198,7 @@ func (c *Context) CappedRounds(n int) int {
 // configs; each round function then derives its own streams from it and
 // the round index alone (sim.SeedFor), so any unit can be re-run in
 // isolation and scheduling can never perturb results.
-func (c *Context) Seed() int64 { return c.runner.cfg.Seed }
+func (c *Context) Seed() int64 { return c.runner.opts.Seed }
 
 // Logf emits a progress line prefixed with the experiment name.
 func (c *Context) Logf(format string, args ...any) {
@@ -215,15 +232,65 @@ func (c *Context) recordPoint(scenario, point string) {
 	c.rec.Points = append(c.rec.Points, &PointRecord{Scenario: scenario, Point: point, Rounds: 1})
 }
 
-// WriteFile writes content to the run's output directory and records it
-// (with size and content hash) in the manifest.
-func (c *Context) WriteFile(name, content string) error {
-	path := filepath.Join(c.runner.cfg.OutDir, name)
+// unitKey is the canonical result-store key of one work unit: schema,
+// root seed, full unit identity and the config/code digests. Any input
+// that could change the unit's result changes the key, so a shared
+// store can never serve a stale or foreign result.
+func (c *Context) unitKey(scenarioName, point string, round int, cfgDigest string) string {
+	return fmt.Sprintf("%s|seed=%d|exp=%q|scen=%q|point=%q|round=%d|cfg=%s|code=%s",
+		ResultStoreSchema, c.runner.opts.Seed, c.rec.Name, scenarioName, point, round,
+		cfgDigest, c.runner.opts.CodeDigest)
+}
+
+// loadUnit resolves key against the result store. A hit returns the
+// stored result and counts it as cached; a miss — including an
+// unusable file, which is logged and recomputed over — returns nil.
+func (c *Context) loadUnit(key string) *UnitResult {
+	if c.runner.store == nil {
+		return nil
+	}
+	res, err := c.runner.store.Load(key)
+	if err != nil {
+		c.Logf("result store: %v (recomputing)", err)
+		return nil
+	}
+	if res == nil {
+		return nil
+	}
+	c.cached.Add(1)
+	return res
+}
+
+// saveUnit counts a computed unit and persists it when a store is
+// configured. Persistence is best effort: a full disk degrades the
+// sweep to recomputation, never fails it.
+func (c *Context) saveUnit(key string, res *UnitResult) {
+	c.computed.Add(1)
+	if c.runner.store == nil {
+		return
+	}
+	if err := c.runner.store.Save(key, res); err != nil {
+		c.Logf("result store: %v", err)
+	}
+}
+
+// Emit writes a typed output to the run's output directory and records
+// it (kind, size, content hash) in the manifest. The kind drives the
+// content type the results API serves the file under; the hash is its
+// ETag. Names are flat: an output must not escape the output directory.
+func (c *Context) Emit(name string, kind OutputKind, content string) error {
+	if !kind.valid() {
+		return fmt.Errorf("emit %s: unknown output kind %q", name, kind)
+	}
+	if name == "" || name != filepath.Base(name) || strings.HasPrefix(name, ".") {
+		return fmt.Errorf("emit: output name %q is not a plain file name", name)
+	}
+	path := filepath.Join(c.runner.opts.OutDir, name)
 	data := []byte(content)
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
-	c.rec.Outputs = append(c.rec.Outputs, newOutputRecord(name, data))
+	c.rec.Outputs = append(c.rec.Outputs, newOutputRecord(name, kind, data))
 	c.runner.logf("wrote %s", path)
 	return nil
 }

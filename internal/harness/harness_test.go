@@ -149,7 +149,7 @@ func TestBatchReuseAfterConfigError(t *testing.T) {
 
 func newTestRunner(t *testing.T, rounds int) *Runner {
 	t.Helper()
-	r, err := NewRunner(Config{Rounds: rounds, Seed: 1, OutDir: t.TempDir()})
+	r, err := NewRunner(Options{Rounds: rounds, Seed: 1, OutDir: t.TempDir()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func newTestRunner(t *testing.T, rounds int) *Runner {
 
 func TestRunnerWritesManifest(t *testing.T) {
 	dir := t.TempDir()
-	r, err := NewRunner(Config{Rounds: 3, Seed: 7, OutDir: dir, Workers: 2})
+	r, err := NewRunner(Options{Rounds: 3, Seed: 7, OutDir: dir, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestRunnerWritesManifest(t *testing.T) {
 			}); err != nil {
 				return err
 			}
-			return c.WriteFile("probe.txt", "hello\n")
+			return c.Emit("probe.txt", OutputRaw, "hello\n")
 		},
 	})
 	if err := r.Run([]string{"reg-manifest-probe"}); err != nil {
@@ -186,7 +186,7 @@ func TestRunnerWritesManifest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Seed != 7 || m.Rounds != 3 || m.Workers != 2 {
+	if m.Seed != 7 || m.Rounds != 3 {
 		t.Fatalf("manifest header = %+v", m)
 	}
 	if len(m.Experiments) != 1 {
@@ -196,11 +196,21 @@ func TestRunnerWritesManifest(t *testing.T) {
 	if rec.Name != "reg-manifest-probe" || rec.Units != 2 {
 		t.Fatalf("record = %+v", rec)
 	}
-	if len(rec.Outputs) != 1 || rec.Outputs[0].File != "probe.txt" || rec.Outputs[0].Bytes != 6 || rec.Outputs[0].SHA256 == "" {
+	if len(rec.Outputs) != 1 || rec.Outputs[0].File != "probe.txt" || rec.Outputs[0].Kind != OutputRaw || rec.Outputs[0].Bytes != 6 || rec.Outputs[0].SHA256 == "" {
 		t.Fatalf("outputs = %+v", rec.Outputs[0])
 	}
 	if len(rec.Points) != 1 || rec.Points[0].Rounds != 2 {
 		t.Fatalf("points = %+v", rec.Points)
+	}
+	tim, err := ReadTimings(filepath.Join(dir, "timings.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tim.Workers != 2 || tim.GeneratedAt == "" || tim.CodeDigest == "" {
+		t.Fatalf("timings header = %+v", tim)
+	}
+	if len(tim.Experiments) != 1 || tim.Experiments[0].Name != "reg-manifest-probe" {
+		t.Fatalf("timings experiments = %+v", tim.Experiments)
 	}
 }
 
@@ -254,7 +264,7 @@ func TestRunnerRecyclesRoundCollectors(t *testing.T) {
 			return nil
 		},
 	})
-	r, err := NewRunner(Config{Rounds: 1, Seed: 2, OutDir: t.TempDir(), Workers: 1})
+	r, err := NewRunner(Options{Rounds: 1, Seed: 2, OutDir: t.TempDir(), Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +309,7 @@ func TestCityDemandWorkerInvariance(t *testing.T) {
 	cfg.Seed = 5
 
 	run := func(workers int) [][]byte {
-		r, err := NewRunner(Config{Rounds: 2, Seed: 5, OutDir: t.TempDir(), Workers: workers})
+		r, err := NewRunner(Options{Rounds: 2, Seed: 5, OutDir: t.TempDir(), Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -350,7 +360,7 @@ func TestBatchTestbedMatchesRunTestbed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	r, err := NewRunner(Config{Rounds: 2, Seed: 3, OutDir: t.TempDir(), Workers: 4})
+	r, err := NewRunner(Options{Rounds: 2, Seed: 3, OutDir: t.TempDir(), Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

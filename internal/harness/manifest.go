@@ -7,21 +7,24 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"time"
 )
 
 // ManifestSchema versions the manifest layout for downstream tooling.
-const ManifestSchema = 1
+// (/2: outputs carry a typed kind, and everything non-deterministic —
+// timestamps, wall-clock timings, worker counts, computed-vs-cached
+// provenance — moved to the timings.json sidecar, so two identical runs
+// produce byte-identical manifests at any worker count.)
+const ManifestSchema = 2
 
 // Manifest is the machine-readable record of one harness run, written to
-// <out>/manifest.json. Output hashes let tooling verify byte-identical
-// reproduction across worker counts and code changes.
+// <out>/manifest.json. It is a pure function of the run's inputs: output
+// hashes let tooling verify byte-identical reproduction across worker
+// counts and code changes, and byte-comparing two manifests is the
+// sweep-level identity check.
 type Manifest struct {
-	Schema      int    `json:"schema"`
-	GeneratedAt string `json:"generated_at"`
-	Seed        int64  `json:"seed"`
-	Rounds      int    `json:"rounds"`
-	Workers     int    `json:"workers"`
+	Schema int   `json:"schema"`
+	Seed   int64 `json:"seed"`
+	Rounds int   `json:"rounds"`
 	// Experiments appear in execution order.
 	Experiments []*ExperimentRecord `json:"experiments"`
 }
@@ -35,9 +38,9 @@ type ExperimentRecord struct {
 	// Points summarises the work decomposition: one entry per
 	// (scenario, parameter-point) pair, in submission order.
 	Points []*PointRecord `json:"points,omitempty"`
-	// Units is the total number of independent work units executed.
-	Units  int   `json:"units"`
-	WallMS int64 `json:"wall_ms"`
+	// Units is the total number of independent work units resolved
+	// (computed or loaded from the result store).
+	Units int `json:"units"`
 	// Outputs lists the files the experiment wrote, in write order.
 	Outputs []*OutputRecord `json:"outputs,omitempty"`
 	Error   string          `json:"error,omitempty"`
@@ -50,42 +53,120 @@ type PointRecord struct {
 	Rounds   int    `json:"rounds"`
 }
 
+// OutputKind classifies an emitted output so the results API can serve
+// correct content types without sniffing.
+type OutputKind string
+
+const (
+	// OutputRaw is a plain-text report.
+	OutputRaw OutputKind = "raw"
+	// OutputTable is a gnuplot-ready data series.
+	OutputTable OutputKind = "table"
+	// OutputPlot is a rendered SVG figure.
+	OutputPlot OutputKind = "plot"
+)
+
+// valid reports whether k is one of the declared kinds.
+func (k OutputKind) valid() bool {
+	switch k {
+	case OutputRaw, OutputTable, OutputPlot:
+		return true
+	}
+	return false
+}
+
+// ContentType returns the HTTP content type the kind serves under.
+func (k OutputKind) ContentType() string {
+	if k == OutputPlot {
+		return "image/svg+xml"
+	}
+	return "text/plain; charset=utf-8"
+}
+
 // OutputRecord is one file written by an experiment.
 type OutputRecord struct {
-	File   string `json:"file"`
-	Bytes  int    `json:"bytes"`
-	SHA256 string `json:"sha256"`
+	File   string     `json:"file"`
+	Kind   OutputKind `json:"kind"`
+	Bytes  int        `json:"bytes"`
+	SHA256 string     `json:"sha256"`
+}
+
+// Timings is the non-deterministic sidecar of a run, written to
+// <out>/timings.json: when it ran, how wide, how long each experiment
+// took, and how many units were computed versus served from the result
+// store. Everything here is provenance, never content — byte-comparing
+// manifests must not depend on it.
+type Timings struct {
+	Schema      int                 `json:"schema"`
+	GeneratedAt string              `json:"generated_at"`
+	Workers     int                 `json:"workers"`
+	CodeDigest  string              `json:"code_digest"`
+	Experiments []*ExperimentTiming `json:"experiments"`
+}
+
+// ExperimentTiming is one experiment's provenance.
+type ExperimentTiming struct {
+	Name   string `json:"name"`
+	WallMS int64  `json:"wall_ms"`
+	// UnitsComputed counts units this run actually simulated;
+	// UnitsCached counts units loaded from the result store. Their sum
+	// is the manifest record's Units.
+	UnitsComputed int `json:"units_computed"`
+	UnitsCached   int `json:"units_cached"`
 }
 
 // WriteManifest serialises the manifest to path with a trailing newline.
 func (m *Manifest) WriteManifest(path string) error {
-	data, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return fmt.Errorf("harness: manifest: %w", err)
-	}
-	return nil
+	return writeJSON(path, m)
 }
 
 // ReadManifest loads a manifest written by WriteManifest.
 func ReadManifest(path string) (*Manifest, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("harness: manifest: %w", err)
-	}
 	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, fmt.Errorf("harness: manifest %s: %w", filepath.Base(path), err)
+	if err := readJSON(path, &m); err != nil {
+		return nil, err
 	}
 	return &m, nil
 }
 
-func newOutputRecord(name string, content []byte) *OutputRecord {
-	sum := sha256.Sum256(content)
-	return &OutputRecord{File: name, Bytes: len(content), SHA256: hex.EncodeToString(sum[:])}
+// WriteTimings serialises the timings sidecar to path.
+func (t *Timings) WriteTimings(path string) error {
+	return writeJSON(path, t)
 }
 
-func nowRFC3339() string { return time.Now().UTC().Format(time.RFC3339) }
+// ReadTimings loads a timings sidecar written by WriteTimings.
+func ReadTimings(path string) (*Timings, error) {
+	var t Timings
+	if err := readJSON(path, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("harness: %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("harness: %s: %w", filepath.Base(path), err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("harness: %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+func newOutputRecord(name string, kind OutputKind, content []byte) *OutputRecord {
+	sum := sha256.Sum256(content)
+	return &OutputRecord{File: name, Kind: kind, Bytes: len(content), SHA256: hex.EncodeToString(sum[:])}
+}

@@ -1,0 +1,342 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+)
+
+// resumeRunner builds a store-backed runner writing into its own temp
+// output directory.
+func resumeRunner(t *testing.T, storeDir string, rounds int, workers int) *Runner {
+	t.Helper()
+	r, err := NewRunner(Options{
+		Rounds: rounds, Seed: 1, OutDir: t.TempDir(), Workers: workers,
+		ResultStore: storeDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// syntheticStoredRounds drives addStoredRounds with a pure counting
+// compute function — the resume machinery without any simulation.
+type syntheticCfg struct {
+	Label string
+	Gain  int
+}
+
+func runSynthetic(t *testing.T, r *Runner, rounds int) (ctx *Context, out []int, computes *int) {
+	t.Helper()
+	ctx = &Context{runner: r, rec: &ExperimentRecord{Name: "resume-probe"}}
+	out = make([]int, rounds)
+	computes = new(int)
+	var mu sync.Mutex
+	b := ctx.Batch()
+	b.addStoredRounds("synthetic", "p0", rounds, syntheticCfg{Label: "p0", Gain: 3},
+		func(round int) (*UnitResult, error) {
+			mu.Lock()
+			*computes++
+			mu.Unlock()
+			return &UnitResult{Meta: []byte(fmt.Sprintf(`{"vehicles":%d}`, 3*round))}, nil
+		},
+		func(round int, res *UnitResult) error {
+			m, err := unmarshalRoundMeta(res)
+			if err != nil {
+				return err
+			}
+			out[round] = m.Vehicles
+			return nil
+		})
+	if err := b.Go(); err != nil {
+		t.Fatal(err)
+	}
+	return ctx, out, computes
+}
+
+// TestStoredRoundsResume is the resume contract in miniature: a full
+// run populates the store, a second run computes nothing, and after
+// deleting a subset of entries a third run recomputes exactly the
+// deleted units — with identical applied results throughout.
+func TestStoredRoundsResume(t *testing.T) {
+	const rounds = 8
+	storeDir := t.TempDir()
+
+	ctx1, out1, computes1 := runSynthetic(t, resumeRunner(t, storeDir, rounds, 4), rounds)
+	if *computes1 != rounds {
+		t.Fatalf("cold run computed %d units, want %d", *computes1, rounds)
+	}
+	if got := ctx1.cached.Load(); got != 0 {
+		t.Fatalf("cold run reported %d cached units", got)
+	}
+
+	// Warm run: everything served from the store.
+	ctx2, out2, computes2 := runSynthetic(t, resumeRunner(t, storeDir, rounds, 4), rounds)
+	if *computes2 != 0 {
+		t.Fatalf("warm run computed %d units, want 0", *computes2)
+	}
+	if got := ctx2.cached.Load(); got != rounds {
+		t.Fatalf("warm run cached %d units, want %d", got, rounds)
+	}
+
+	// Interrupt: drop rounds 2, 5 and 6 from the store, as if the sweep
+	// died mid-flight.
+	store, err := NewResultStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := []int{2, 5, 6}
+	digest := scenario.ConfigDigest(syntheticCfg{Label: "p0", Gain: 3})
+	for _, round := range deleted {
+		key := ctx2.unitKey("synthetic", "p0", round, digest)
+		if err := os.Remove(store.Path(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx3, out3, computes3 := runSynthetic(t, resumeRunner(t, storeDir, rounds, 4), rounds)
+	if *computes3 != len(deleted) {
+		t.Fatalf("resumed run computed %d units, want exactly the %d deleted", *computes3, len(deleted))
+	}
+	if got := ctx3.cached.Load(); got != int64(rounds-len(deleted)) {
+		t.Fatalf("resumed run cached %d units, want %d", got, rounds-len(deleted))
+	}
+	for round := 0; round < rounds; round++ {
+		if out2[round] != out1[round] || out3[round] != out1[round] {
+			t.Fatalf("round %d results diverge across runs: %d / %d / %d",
+				round, out1[round], out2[round], out3[round])
+		}
+	}
+}
+
+// TestStoredRoundsKeyedByConfig: a changed config digest is a different
+// unit — nothing is served across it.
+func TestStoredRoundsKeyedByConfig(t *testing.T) {
+	storeDir := t.TempDir()
+	r := resumeRunner(t, storeDir, 4, 2)
+	if _, _, computes := runSynthetic(t, r, 4); *computes != 4 {
+		t.Fatalf("cold run computed %d", *computes)
+	}
+
+	// Same point, same rounds, different config: full recompute.
+	ctx := &Context{runner: resumeRunner(t, storeDir, 4, 2), rec: &ExperimentRecord{Name: "resume-probe"}}
+	computes := 0
+	var mu sync.Mutex
+	b := ctx.Batch()
+	b.addStoredRounds("synthetic", "p0", 4, syntheticCfg{Label: "p0", Gain: 4},
+		func(round int) (*UnitResult, error) {
+			mu.Lock()
+			computes++
+			mu.Unlock()
+			return &UnitResult{Meta: []byte(`{}`)}, nil
+		},
+		func(int, *UnitResult) error { return nil })
+	if err := b.Go(); err != nil {
+		t.Fatal(err)
+	}
+	if computes != 4 {
+		t.Fatalf("changed config computed %d units, want 4 (no stale hits)", computes)
+	}
+}
+
+// TestResumeByteIdentity is the simulation-backed acceptance check: a
+// highway point resumed from a half-deleted store reproduces the cold
+// run's protocol traces byte for byte, at a different worker count.
+func TestResumeByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	cfg := scenario.DefaultHighway()
+	cfg.Rounds = 4
+	cfg.Cars = 2
+	cfg.Seed = 1
+	storeDir := t.TempDir()
+
+	run := func(workers int) [][]byte {
+		r := resumeRunner(t, storeDir, cfg.Rounds, workers)
+		c := &Context{runner: r, rec: &ExperimentRecord{Name: "resume-hw"}}
+		b := c.Batch()
+		res := b.Highway("p", cfg)
+		if err := b.Go(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(res.Rounds))
+		for i, col := range res.Rounds {
+			var buf bytes.Buffer
+			if err := col.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+
+	cold := run(1)
+
+	// Kill half the store and resume with a different worker count.
+	store, err := NewResultStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != cfg.Rounds {
+		t.Fatalf("store holds %d entries after cold run, want %d", len(ents), cfg.Rounds)
+	}
+	for i, e := range ents {
+		if i%2 == 0 {
+			if err := os.Remove(filepath.Join(store.Dir(), e.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	resumed := run(3)
+	for i := range cold {
+		if len(cold[i]) == 0 {
+			t.Fatalf("round %d trace is empty", i)
+		}
+		if !bytes.Equal(cold[i], resumed[i]) {
+			t.Fatalf("round %d differs between cold and resumed runs", i)
+		}
+	}
+}
+
+// TestSharedStoreConcurrentRunners shards one synthetic sweep across
+// two runners racing on a single store directory — the multi-process
+// sharding contract, scaled down to goroutines so -race can see it.
+func TestSharedStoreConcurrentRunners(t *testing.T) {
+	const rounds = 16
+	storeDir := t.TempDir()
+	results := make([][]int, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := NewRunner(Options{
+				Rounds: rounds, Seed: 1, OutDir: t.TempDir(), Workers: 4,
+				ResultStore: storeDir,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ctx := &Context{runner: r, rec: &ExperimentRecord{Name: "resume-probe"}}
+			out := make([]int, rounds)
+			b := ctx.Batch()
+			b.addStoredRounds("synthetic", "p0", rounds, syntheticCfg{Label: "p0", Gain: 3},
+				func(round int) (*UnitResult, error) {
+					// Deterministic pure function of the unit identity, as the
+					// store contract requires of every real scenario round.
+					time.Sleep(time.Millisecond)
+					return &UnitResult{Meta: []byte(fmt.Sprintf(`{"vehicles":%d}`, 3*round))}, nil
+				},
+				func(round int, res *UnitResult) error {
+					m, err := unmarshalRoundMeta(res)
+					if err != nil {
+						return err
+					}
+					out[round] = m.Vehicles
+					return nil
+				})
+			if err := b.Go(); err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = out
+		}()
+	}
+	wg.Wait()
+	if results[0] == nil || results[1] == nil {
+		t.Fatal("a shard failed")
+	}
+	for round := 0; round < rounds; round++ {
+		want := 3 * round
+		if results[0][round] != want || results[1][round] != want {
+			t.Fatalf("round %d: shards read %d / %d, want %d",
+				round, results[0][round], results[1][round], want)
+		}
+	}
+	// Both shards raced the same keys; the store must hold one entry per
+	// unit, each loadable.
+	store, err := NewResultStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := store.Summary(); sum.Entries != rounds {
+		t.Fatalf("store holds %d entries, want %d", sum.Entries, rounds)
+	}
+}
+
+// TestManifestDeterministic pins satellite 3: manifest.json is a pure
+// function of the run's inputs — two runs at different wall-clock times
+// and worker counts produce byte-identical manifests, while the
+// timings sidecar carries the provenance that may differ.
+func TestManifestDeterministic(t *testing.T) {
+	registerOnce(Experiment{
+		Name:  "reg-deterministic-probe",
+		Title: "emits one output for the manifest determinism check",
+		Run: func(c *Context) error {
+			if err := c.RunUnits([]Unit{
+				{Scenario: "s", Point: "p", Round: 0, Run: func() error { return nil }},
+			}); err != nil {
+				return err
+			}
+			return c.Emit("det.txt", OutputRaw, "payload\n")
+		},
+	})
+	run := func(now time.Time, workers int) (manifest, timings []byte) {
+		dir := t.TempDir()
+		r, err := NewRunner(Options{
+			Rounds: 2, Seed: 9, OutDir: dir, Workers: workers,
+			Now: func() time.Time { return now },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Run([]string{"reg-deterministic-probe"}); err != nil {
+			t.Fatal(err)
+		}
+		manifest, err = os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		timings, err = os.ReadFile(filepath.Join(dir, "timings.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return manifest, timings
+	}
+
+	m1, _ := run(time.Unix(1000000000, 0).UTC(), 1)
+	m2, tim2 := run(time.Unix(2000000000, 0).UTC(), 3)
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("manifest depends on wall clock or worker count:\n%s\nvs\n%s", m1, m2)
+	}
+	// The provenance lives in the sidecar instead.
+	if !bytes.Contains(tim2, []byte("2033-05-18T03:33:20Z")) {
+		t.Fatalf("timings.json does not carry the injected clock:\n%s", tim2)
+	}
+	if !bytes.Contains(tim2, []byte(`"workers": 3`)) {
+		t.Fatalf("timings.json does not carry the worker count:\n%s", tim2)
+	}
+}
+
+// registerOnce tolerates repeated registration across tests in this
+// package sharing one process.
+func registerOnce(e Experiment) {
+	if _, ok := Lookup(e.Name); !ok {
+		Register(e)
+	}
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/packet"
@@ -18,6 +20,12 @@ import (
 // arms of one sweep draw independent channel/protocol randomness — no two
 // arms share a fading realization — while their expensive traffic worlds
 // stay shared through the (seed, round)-keyed caches.
+//
+// Every unit resolves against the runner's result store (when one is
+// configured) before computing: the unit key is the root seed, the full
+// unit identity and a digest of the normalized config plus the code
+// digest, so re-running a sweep only computes units whose key changed
+// and interrupted sweeps resume where they stopped.
 type Batch struct {
 	ctx       *Context
 	units     []Unit
@@ -49,16 +57,73 @@ func (b *Batch) Go() error {
 	return nil
 }
 
-func (b *Batch) addRounds(scenarioName, point string, rounds int, run func(round int) error) {
+// roundMeta is the scenario-agnostic sidecar of one stored round.
+type roundMeta struct {
+	DurationNS int64 `json:"duration_ns,omitempty"`
+	Vehicles   int   `json:"vehicles,omitempty"`
+}
+
+// downloadMeta is the stored form of a DownloadResult minus its trace.
+type downloadMeta struct {
+	Config    scenario.DownloadConfig `json:"config"`
+	Cars      []scenario.CarDownload  `json:"cars"`
+	LapTimeNS int64                   `json:"lap_time_ns"`
+}
+
+func marshalMeta(v any) (json.RawMessage, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("harness: unit meta: %w", err)
+	}
+	return data, nil
+}
+
+// addStoredRounds adds one unit per round, each resolving through the
+// result store: a stored result applies directly, a miss computes,
+// applies and persists. cfg is the normalized config whose digest
+// (scenario.ConfigDigest) anchors the unit keys; compute runs the
+// simulation for one round; apply writes a result — computed or loaded —
+// into the round's own slot of caller-owned storage.
+func (b *Batch) addStoredRounds(scenarioName, point string, rounds int, cfg any,
+	compute func(round int) (*UnitResult, error),
+	apply func(round int, res *UnitResult) error) {
+	digest := scenario.ConfigDigest(cfg)
 	for i := 0; i < rounds; i++ {
 		i := i
+		key := b.ctx.unitKey(scenarioName, point, i, digest)
 		b.units = append(b.units, Unit{
 			Scenario: scenarioName,
 			Point:    point,
 			Round:    i,
-			Run:      func() error { return run(i) },
+			Run: func() error {
+				if res := b.ctx.loadUnit(key); res != nil {
+					return apply(i, res)
+				}
+				res, err := compute(i)
+				if err != nil {
+					return err
+				}
+				if err := apply(i, res); err != nil {
+					return err
+				}
+				b.ctx.saveUnit(key, res)
+				return nil
+			},
 		})
 	}
+}
+
+// unmarshalRoundMeta tolerates an absent meta section (zero value) so
+// stores written by leaner scenarios stay loadable.
+func unmarshalRoundMeta(res *UnitResult) (roundMeta, error) {
+	var m roundMeta
+	if len(res.Meta) == 0 {
+		return m, nil
+	}
+	if err := json.Unmarshal(res.Meta, &m); err != nil {
+		return m, fmt.Errorf("harness: unit meta: %w", err)
+	}
+	return m, nil
 }
 
 // Testbed adds every round of one urban-testbed parameter point. The
@@ -82,14 +147,26 @@ func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.Test
 	}
 	durs := make([]time.Duration, ncfg.Rounds)
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("testbed", point, ncfg.Rounds, func(round int) error {
-		col, dur, err := scenario.TestbedRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round], durs[round] = col, dur
-		return nil
-	})
+	b.addStoredRounds("testbed", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, dur, err := scenario.TestbedRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			meta, err := marshalMeta(roundMeta{DurationNS: int64(dur)})
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Meta: meta, Protocol: col}, nil
+		},
+		func(round int, u *UnitResult) error {
+			m, err := unmarshalRoundMeta(u)
+			if err != nil {
+				return err
+			}
+			res.Rounds[round], durs[round] = u.Protocol, time.Duration(m.DurationNS)
+			return nil
+		})
 	b.finalize = append(b.finalize, func() { res.RoundDuration = durs[0] })
 	return res
 }
@@ -110,14 +187,18 @@ func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.High
 		Rounds: make([]*trace.Collector, ncfg.Rounds),
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("highway", point, ncfg.Rounds, func(round int) error {
-		col, err := scenario.HighwayRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round] = col
-		return nil
-	})
+	b.addStoredRounds("highway", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, err := scenario.HighwayRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round] = u.Protocol
+			return nil
+		})
 	return res
 }
 
@@ -138,14 +219,18 @@ func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.Co
 		Rounds:      make([]*trace.Collector, ncfg.Rounds),
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("corridor", point, ncfg.Rounds, func(round int) error {
-		col, err := scenario.CorridorRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round] = col
-		return nil
-	})
+	b.addStoredRounds("corridor", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, err := scenario.CorridorRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round] = u.Protocol
+			return nil
+		})
 	return res
 }
 
@@ -166,14 +251,18 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 		Rounds:   make([]*trace.Collector, ncfg.Rounds),
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("twoway", point, ncfg.Rounds, func(round int) error {
-		col, err := scenario.TwoWayRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round] = col
-		return nil
-	})
+	b.addStoredRounds("twoway", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, err := scenario.TwoWayRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round] = u.Protocol
+			return nil
+		})
 	return res
 }
 
@@ -196,14 +285,18 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 		Traffic: make([]*trace.Collector, ncfg.Rounds),
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("trafficgrid", point, ncfg.Rounds, func(round int) error {
-		col, stream, err := scenario.TrafficGridRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round], res.Traffic[round] = col, stream
-		return nil
-	})
+	b.addStoredRounds("trafficgrid", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, stream, err := scenario.TrafficGridRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col, Traffic: stream}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round], res.Traffic[round] = u.Protocol, u.Traffic
+			return nil
+		})
 	return res
 }
 
@@ -227,14 +320,18 @@ func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.
 		res.APIDs = append(res.APIDs, scenario.APID+packet.NodeID(i))
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("cityscale", point, ncfg.Rounds, func(round int) error {
-		col, stream, err := scenario.CityScaleRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round], res.Traffic[round] = col, stream
-		return nil
-	})
+	b.addStoredRounds("cityscale", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, stream, err := scenario.CityScaleRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col, Traffic: stream}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round], res.Traffic[round] = u.Protocol, u.Traffic
+			return nil
+		})
 	return res
 }
 
@@ -259,14 +356,26 @@ func (b *Batch) CityDemand(point string, cfg scenario.CityDemandConfig) *scenari
 		res.APIDs = append(res.APIDs, scenario.APID+packet.NodeID(i))
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("citydemand", point, ncfg.Rounds, func(round int) error {
-		col, stream, vehicles, err := scenario.CityDemandRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round], res.Traffic[round], res.Vehicles[round] = col, stream, vehicles
-		return nil
-	})
+	b.addStoredRounds("citydemand", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, stream, vehicles, err := scenario.CityDemandRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			meta, err := marshalMeta(roundMeta{Vehicles: vehicles})
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Meta: meta, Protocol: col, Traffic: stream}, nil
+		},
+		func(round int, u *UnitResult) error {
+			m, err := unmarshalRoundMeta(u)
+			if err != nil {
+				return err
+			}
+			res.Rounds[round], res.Traffic[round], res.Vehicles[round] = u.Protocol, u.Traffic, m.Vehicles
+			return nil
+		})
 	return res
 }
 
@@ -287,32 +396,59 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 		Traffic: make([]*trace.Collector, ncfg.Rounds),
 	}
 	b.ctx.RecycleTraces(res.Rounds)
-	b.addRounds("stopgo", point, ncfg.Rounds, func(round int) error {
-		col, stream, err := scenario.StopGoRound(ncfg, round)
-		if err != nil {
-			return err
-		}
-		res.Rounds[round], res.Traffic[round] = col, stream
-		return nil
-	})
+	b.addStoredRounds("stopgo", point, ncfg.Rounds, ncfg,
+		func(round int) (*UnitResult, error) {
+			col, stream, err := scenario.StopGoRound(ncfg, round)
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Protocol: col, Traffic: stream}, nil
+		},
+		func(round int, u *UnitResult) error {
+			res.Rounds[round], res.Traffic[round] = u.Protocol, u.Traffic
+			return nil
+		})
 	return res
 }
 
 // Download adds one multi-lap file-download point as a single unit (the
-// download scenario is one continuous simulation, not rounds).
+// download scenario is one continuous simulation, not rounds). The
+// stored form carries the post-normalisation config and per-car
+// summaries in the meta section and the trace as the protocol section.
 func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.DownloadResult {
 	if cfg.Arm == "" {
 		cfg.Arm = point
 	}
 	res := new(*scenario.DownloadResult)
-	b.addRounds("download", point, 1, func(int) error {
-		r, err := scenario.RunDownload(cfg)
-		if err != nil {
-			return err
-		}
-		*res = r
-		return nil
-	})
+	b.addStoredRounds("download", point, 1, cfg,
+		func(int) (*UnitResult, error) {
+			r, err := scenario.RunDownload(cfg)
+			if err != nil {
+				return nil, err
+			}
+			meta, err := marshalMeta(downloadMeta{
+				Config:    r.Config,
+				Cars:      r.Cars,
+				LapTimeNS: int64(r.LapTime),
+			})
+			if err != nil {
+				return nil, err
+			}
+			return &UnitResult{Meta: meta, Protocol: r.Trace}, nil
+		},
+		func(_ int, u *UnitResult) error {
+			var m downloadMeta
+			if err := json.Unmarshal(u.Meta, &m); err != nil {
+				return fmt.Errorf("harness: download meta: %w", err)
+			}
+			*res = &scenario.DownloadResult{
+				Config:  m.Config,
+				Cars:    m.Cars,
+				Trace:   u.Protocol,
+				LapTime: time.Duration(m.LapTimeNS),
+			}
+			return nil
+		})
 	// The download result is a pointer filled by the unit; register its
 	// trace once Go has resolved it.
 	b.finalize = append(b.finalize, func() {

@@ -1,0 +1,69 @@
+#!/bin/sh
+# ci_sweepd_smoke.sh — end-to-end smoke of the results API: run a tiny
+# sweep, start sweepd on it, and check the catalogue, one output's
+# content type, and the ETag/If-None-Match 304 contract.
+set -eu
+
+work="$(mktemp -d)"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+out="$work/results"
+addr="127.0.0.1:18080"
+
+echo "==> sweep"
+go run ./cmd/experiments \
+    -exp dynamics -rounds 2 -seed 1 -out "$out" \
+    -traffic-store "$work/traffic-store"
+
+echo "==> build + start sweepd"
+go build -o "$work/sweepd" ./cmd/sweepd
+"$work/sweepd" -addr "$addr" -out "$out" -result-store "$work/store" &
+pid=$!
+
+for i in $(seq 1 50); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 50 ] && { echo "FAIL: sweepd never became healthy" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "==> catalogue"
+catalogue="$(curl -fsS "http://$addr/api/catalogue")"
+echo "$catalogue" | grep -q '"dynamics"' || {
+    echo "FAIL: catalogue misses the dynamics study: $catalogue" >&2
+    exit 1
+}
+# First output file named by the catalogue.
+file="$(echo "$catalogue" | sed -n 's/.*"file": *"\([^"]*\)".*/\1/p' | head -1)"
+[ -n "$file" ] || { echo "FAIL: catalogue lists no outputs" >&2; exit 1; }
+
+echo "==> output $file: ETag + 304"
+headers="$(curl -fsSI "http://$addr/outputs/$file" | tr -d '\r')"
+etag="$(echo "$headers" | sed -n 's/^[Ee][Tt]ag: *//p')"
+[ -n "$etag" ] || { echo "FAIL: no ETag on $file:"; echo "$headers"; exit 1; }
+
+code="$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "If-None-Match: $etag" "http://$addr/outputs/$file")"
+[ "$code" = 304 ] || {
+    echo "FAIL: conditional GET answered $code, want 304" >&2
+    exit 1
+}
+
+# Plot outputs must come back as SVG.
+svg="$(echo "$catalogue" | sed -n 's/.*"file": *"\([^"]*\.svg\)".*/\1/p' | head -1)"
+if [ -n "$svg" ]; then
+    ct="$(curl -fsSI "http://$addr/outputs/$svg" | tr -d '\r' \
+        | sed -n 's/^[Cc]ontent-[Tt]ype: *//p')"
+    [ "$ct" = "image/svg+xml" ] || {
+        echo "FAIL: $svg served as '$ct', want image/svg+xml" >&2
+        exit 1
+    }
+fi
+
+echo "OK: sweepd serves the catalogue, typed outputs and 304s on matching ETags"
