@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume sweepd-smoke
+.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume sweepd-smoke metrics-smoke
 
 all: build test
 
@@ -52,9 +52,16 @@ sweep-resume:
 	sh scripts/ci_sweep_resume.sh
 
 # Results-API smoke: sweep, start sweepd, check catalogue, typed
-# content types and the ETag/If-None-Match 304 contract.
+# content types, the ETag/If-None-Match 304 contract, and the
+# /api/metrics (Prometheus exposition, linted) + /api/progress
+# telemetry endpoints.
 sweepd-smoke:
 	sh scripts/ci_sweepd_smoke.sh
+
+# Telemetry gate without a server: -progress ticker, metrics.json core
+# counters, and byte-identity of the sweep with metrics on vs off.
+metrics-smoke:
+	sh scripts/ci_metrics_smoke.sh
 
 fmt:
 	@out="$$(gofmt -l .)"; \

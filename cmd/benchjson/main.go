@@ -15,6 +15,14 @@
 // tracks the latest committed pair without per-PR Makefile edits:
 //
 //	go run ./cmd/benchjson -compare
+//
+// With -promlint it instead validates Prometheus text exposition on
+// stdin — the CI gate over sweepd's /api/metrics — and with -nonzero
+// additionally requires the named metric families to carry a positive
+// sample:
+//
+//	curl -s host:8080/api/metrics | go run ./cmd/benchjson -promlint \
+//	    -nonzero sim_events_processed_total,result_store_hits_total
 package main
 
 import (
@@ -267,10 +275,27 @@ func autoSnapshots() (string, string, error) {
 
 func main() {
 	var (
-		compare = flag.Bool("compare", false, "compare two BENCH_*.json snapshots instead of converting stdin")
-		factor  = flag.Float64("factor", 2, "ns/op growth beyond which -compare reports a regression")
+		compare  = flag.Bool("compare", false, "compare two BENCH_*.json snapshots instead of converting stdin")
+		factor   = flag.Float64("factor", 2, "ns/op growth beyond which -compare reports a regression")
+		promlint = flag.Bool("promlint", false, "validate Prometheus text exposition on stdin instead of converting bench output")
+		nonzero  = flag.String("nonzero", "", "comma-separated metric families -promlint requires a positive sample in")
 	)
 	flag.Parse()
+
+	if *promlint {
+		var req []string
+		for _, name := range strings.Split(*nonzero, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				req = append(req, name)
+			}
+		}
+		if err := Promlint(os.Stdin, req); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: promlint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: exposition ok")
+		return
+	}
 
 	if *compare {
 		var oldPath, newPath string

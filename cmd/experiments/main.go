@@ -12,6 +12,7 @@
 //	            [-out results] [-workers N] [-list]
 //	            [-result-store dir] [-code-digest id]
 //	            [-traffic-store dir] [-traffic-store-cap bytes]
+//	            [-metrics] [-progress]
 //	            [-cpuprofile file] [-memprofile file]
 //
 // Outputs are written to the -out directory as plain-text reports,
@@ -30,8 +31,14 @@
 // -traffic-store points the traffic scenarios' record-once-replay-many
 // path at an on-disk precomputed-trace store: the first run of a sweep
 // records each traffic world, every later run (any process) loads it.
-// -cpuprofile/-memprofile wrap the whole run in pprof profiling, the
-// hook for hunting sweep-serving regressions.
+//
+// -metrics enables the telemetry registry (internal/metrics): simulator,
+// cache and store counters accumulate across the run and a metrics.json
+// snapshot lands beside timings.json. Enabling it never changes a byte
+// of any trace, report or the manifest (test-enforced). -progress
+// (implies -metrics) adds a once-a-second stderr ticker with live unit
+// counts. -cpuprofile/-memprofile wrap the whole run in pprof profiling,
+// the hook for hunting sweep-serving regressions.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/scenario"
@@ -57,6 +65,7 @@ func main() {
 	var (
 		exp        = flag.String("exp", "all", "experiments to run: all, or a comma-separated list of names")
 		list       = flag.Bool("list", false, "print the experiment catalogue and exit")
+		progress   = flag.Bool("progress", false, "print live unit progress to stderr once a second (implies -metrics)")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at the end of the run to this file")
 	)
@@ -71,13 +80,16 @@ func main() {
 	// which would skip the profiling defers and leave a truncated
 	// cpu.pprof / missing mem.pprof on the very failing sweeps the
 	// profiling mode exists to debug.
-	if err := run(*exp, opts, *cpuProfile, *memProfile); err != nil {
+	if err := run(*exp, opts, *progress, *cpuProfile, *memProfile); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp string, opts harness.Options, cpuProfile, memProfile string) (err error) {
+func run(exp string, opts harness.Options, progress bool, cpuProfile, memProfile string) (err error) {
 	opts.Logf = log.Printf
+	if progress {
+		opts.Metrics = true
+	}
 	if opts.TrafficStore != "" {
 		if err := scenario.SetTrafficTraceStore(opts.TrafficStore, opts.TrafficStoreCap); err != nil {
 			return err
@@ -128,7 +140,49 @@ func run(exp string, opts harness.Options, cpuProfile, memProfile string) (err e
 	if len(names) == 0 {
 		return fmt.Errorf("no experiments selected by -exp %q", exp)
 	}
+	if progress {
+		stop := startProgressTicker(os.Stderr, runner, time.Second)
+		defer stop()
+	}
 	return runner.Run(names)
+}
+
+// startProgressTicker prints the runner's live unit counters to w at
+// every interval until the returned stop function runs. Lines only
+// appear once units exist and then whenever the counts move, so an idle
+// setup phase stays quiet. The final state is printed at stop, so short
+// sweeps still report their totals.
+func startProgressTicker(w io.Writer, runner *harness.Runner, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var last harness.Progress
+		emit := func() {
+			p := runner.Progress()
+			if p == last || p.UnitsTotal == 0 {
+				return
+			}
+			last = p
+			fmt.Fprintf(w, "progress: %d/%d units (%d computed, %d cached)\n",
+				p.UnitsDone, p.UnitsTotal, p.UnitsComputed, p.UnitsCached)
+		}
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-done:
+				emit()
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 // printCatalogue renders the registry as the experiment catalogue: one

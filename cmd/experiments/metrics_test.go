@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// readSweepOutputs loads every file of a sweep directory except the
+// provenance sidecars (timings.json always differs; metrics.json only
+// exists on instrumented runs and its registry counts are cumulative
+// across a test process).
+func readSweepOutputs(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() == "timings.json" || e.Name() == harness.MetricsFile {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	return out
+}
+
+// TestMetricsByteIdentity is the sweep-level half of the telemetry
+// contract (the scenario package checks every family's traces): running
+// registered experiments with the metrics registry on must reproduce an
+// uninstrumented run byte for byte — every report, every series, and
+// the manifest with its content hashes. metrics.json itself must appear
+// only on the instrumented run.
+func TestMetricsByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	defer metrics.SetEnabled(false)
+
+	run := func(metricsOn bool) (map[string]string, string) {
+		dir := t.TempDir()
+		runner, err := harness.NewRunner(harness.Options{
+			Rounds: 2, Seed: 7, OutDir: dir, Metrics: metricsOn,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Run([]string{"table1", "highway"}); err != nil {
+			t.Fatal(err)
+		}
+		manifest, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readSweepOutputs(t, dir), string(manifest)
+	}
+
+	// The uninstrumented run goes first: the instrumented one flips the
+	// process-global registry on.
+	metrics.SetEnabled(false)
+	off, offManifest := run(false)
+	if _, ok := off[harness.MetricsFile]; ok {
+		t.Fatalf("uninstrumented run wrote %s", harness.MetricsFile)
+	}
+	on, onManifest := run(true)
+	if !metrics.Enabled() {
+		t.Fatal("Options.Metrics did not enable the registry")
+	}
+
+	if offManifest != onManifest {
+		t.Error("manifest.json differs between metrics off and on")
+	}
+	if len(off) == 0 {
+		t.Fatal("no outputs")
+	}
+	for name, want := range off {
+		if got, ok := on[name]; !ok {
+			t.Errorf("%s missing from instrumented run", name)
+		} else if got != want {
+			t.Errorf("%s differs between metrics off and on", name)
+		}
+	}
+	for name := range on {
+		if _, ok := off[name]; !ok {
+			t.Errorf("instrumented run grew extra output %s", name)
+		}
+	}
+}
+
+// TestMetricsFileIsDeterministicSnapshot checks the persisted
+// metrics.json: it parses back as a registry snapshot, carries the core
+// simulator counters with nonzero values, and holds no histograms —
+// wall times are timings.json's job; the snapshot keeps only counts.
+func TestMetricsFileIsDeterministicSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	defer metrics.SetEnabled(false)
+
+	dir := t.TempDir()
+	runner, err := harness.NewRunner(harness.Options{
+		Rounds: 1, Seed: 9, OutDir: dir, Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.Run([]string{"highway"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, harness.MetricsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := metrics.ReadSnapshotJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Histograms) != 0 {
+		t.Fatalf("metrics.json carries %d histograms; wall times belong in timings.json", len(snap.Histograms))
+	}
+	values := map[string]uint64{}
+	for _, c := range snap.Counters {
+		values[c.Name] += c.Value
+	}
+	for _, name := range []string{
+		"sim_events_processed_total",
+		"sim_events_scheduled_total",
+		"mac_transmissions_total",
+		"mac_deliveries_total",
+		"harness_units_computed_total",
+	} {
+		if values[name] == 0 {
+			t.Errorf("%s missing or zero in metrics.json", name)
+		}
+	}
+	var prom bytes.Buffer
+	if err := snap.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom.Bytes(), []byte("# TYPE sim_events_processed_total counter")) {
+		t.Error("snapshot does not render to Prometheus exposition")
+	}
+}
+
+// TestSnapshotDuringSweepRace hammers Snapshot(), Prometheus rendering
+// and the runner's Progress() from several goroutines while a real
+// instrumented sweep runs on a multi-worker pool. Its assertions are
+// thin on purpose: the value is running under -race, where any unsynced
+// access between the sim workers' counter flushes and a concurrent
+// scrape fails the build.
+func TestSnapshotDuringSweepRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	defer metrics.SetEnabled(false)
+
+	dir := t.TempDir()
+	runner, err := harness.NewRunner(harness.Options{
+		Rounds: 2, Seed: 11, OutDir: dir, Workers: 2, Metrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				snap := metrics.Default().Snapshot()
+				var buf bytes.Buffer
+				if err := snap.WritePrometheus(&buf); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				_ = runner.Progress()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	if err := runner.Run([]string{"highway"}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if p := runner.Progress(); p.UnitsDone == 0 || p.UnitsDone != p.UnitsTotal {
+		t.Fatalf("progress after run = %+v", p)
+	}
+}

@@ -8,10 +8,17 @@
 //	                 output with URL, typed kind, size and ETag
 //	/api/manifest    raw manifest.json
 //	/api/store       result-store summary (entries, bytes)
+//	/api/metrics     telemetry: the sweep's metrics.json (written by
+//	                 experiments -metrics) merged with this process's
+//	                 live registry — Prometheus text exposition by
+//	                 default, JSON under Accept: application/json
+//	/api/progress    sweep completion: unit totals and computed-vs-
+//	                 cached splits from the manifest and timings
 //	/outputs/<file>  one study output, content type from its recorded
 //	                 kind (raw/table: text/plain, plot: image/svg+xml)
 //	/bench/          the committed BENCH_<n>.json perf snapshots
 //	/healthz         liveness
+//	/debug/pprof/    live profiling (only with -debug)
 //
 // Every output's ETag is the content hash the harness recorded in the
 // manifest, so conditional GETs (If-None-Match) answer 304 without
@@ -22,15 +29,17 @@
 // Usage:
 //
 //	sweepd [-addr :8080] [-out results] [-result-store dir]
-//	       [-bench-dir .] (plus the shared sweep flags)
+//	       [-bench-dir .] [-debug] (plus the shared sweep flags)
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // mounted under /debug/pprof/ only with -debug
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -42,8 +51,13 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
 		benchDir = flag.String("bench-dir", ".", "directory of the committed BENCH_<n>.json snapshots")
+		debug    = flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+
+	// Serving telemetry is the point of this process; no simulation runs
+	// here, so there is no determinism contract to protect by gating.
+	metrics.SetEnabled(true)
 
 	opts, err := opts.Validate()
 	if err != nil {
@@ -56,7 +70,7 @@ func main() {
 		}
 	}
 
-	s := newServer(opts.OutDir, *benchDir, store)
+	s := newServer(opts.OutDir, *benchDir, store, *debug)
 	if err := s.refresh(); err != nil {
 		// Not fatal: the producer may not have written a manifest yet;
 		// handlers answer 503 until one appears.

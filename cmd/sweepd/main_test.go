@@ -58,7 +58,7 @@ func newTestServer(t *testing.T) (*httptest.Server, string) {
 	if err := os.WriteFile(filepath.Join(benchDir, "BENCH_9.json"), []byte(`{"bench":true}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(dir, benchDir, nil).routes())
+	ts := httptest.NewServer(newServer(dir, benchDir, nil, false).routes())
 	t.Cleanup(ts.Close)
 	return ts, dir
 }
@@ -253,7 +253,7 @@ func TestStoreEndpoint(t *testing.T) {
 	}
 	dir := t.TempDir()
 	writeSweep(t, dir, "sweepd-probe-store")
-	ts2 := httptest.NewServer(newServer(dir, t.TempDir(), store).routes())
+	ts2 := httptest.NewServer(newServer(dir, t.TempDir(), store, false).routes())
 	defer ts2.Close()
 	var sum harness.StoreSummary
 	_, body := get(t, ts2.URL+"/api/store", nil)
@@ -278,7 +278,7 @@ func TestReadOnlyAPI(t *testing.T) {
 }
 
 func TestMissingManifestAnswers503(t *testing.T) {
-	ts := httptest.NewServer(newServer(t.TempDir(), t.TempDir(), nil).routes())
+	ts := httptest.NewServer(newServer(t.TempDir(), t.TempDir(), nil, false).routes())
 	defer ts.Close()
 	resp, _ := get(t, ts.URL+"/api/catalogue", nil)
 	if resp.StatusCode != http.StatusServiceUnavailable {

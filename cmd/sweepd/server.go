@@ -29,6 +29,7 @@ type server struct {
 	outDir   string
 	benchDir string
 	store    *harness.ResultStore // nil: no store endpoints
+	debug    bool                 // mount net/http/pprof under /debug/pprof/
 
 	mu          sync.Mutex
 	manifest    *harness.Manifest
@@ -46,8 +47,8 @@ type outputInfo struct {
 	experiment string
 }
 
-func newServer(outDir, benchDir string, store *harness.ResultStore) *server {
-	return &server{outDir: outDir, benchDir: benchDir, store: store}
+func newServer(outDir, benchDir string, store *harness.ResultStore, debug bool) *server {
+	return &server{outDir: outDir, benchDir: benchDir, store: store, debug: debug}
 }
 
 // routes builds the handler tree. Paths are matched manually (prefix
@@ -61,17 +62,66 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/api/catalogue", s.handleCatalogue)
 	mux.HandleFunc("/api/manifest", s.handleManifest)
 	mux.HandleFunc("/api/store", s.handleStore)
+	mux.HandleFunc("/api/metrics", s.handleMetrics)
+	mux.HandleFunc("/api/progress", s.handleProgress)
 	mux.HandleFunc("/outputs/", s.handleOutput)
 	mux.HandleFunc("/bench/", s.handleBench)
 	mux.HandleFunc("/", s.handleIndex)
-	return readOnly(mux)
+	if s.debug {
+		// net/http/pprof registers its handlers on the default mux at
+		// import; mounting that mux under the readOnly guard exposes them
+		// without letting profiling URLs leak into production serving.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	}
+	return s.readOnly(mux)
 }
 
-// readOnly rejects every method except GET and HEAD: the sweep producer
-// writes through the filesystem, never through the API.
-func readOnly(next http.Handler) http.Handler {
+// routeList names every mounted route pattern, for the index document
+// (and for knownRoute, which derives method semantics from it).
+func (s *server) routeList() []string {
+	routes := []string{
+		"/healthz",
+		"/api/catalogue",
+		"/api/manifest",
+		"/api/store",
+		"/api/metrics",
+		"/api/progress",
+		"/outputs/<file>",
+		"/bench/",
+	}
+	if s.debug {
+		routes = append(routes, "/debug/pprof/")
+	}
+	return routes
+}
+
+// knownRoute reports whether path falls under a mounted route, so the
+// readOnly guard can distinguish a wrong method on a real endpoint (405
+// with Allow) from a path that does not exist at all (404).
+func (s *server) knownRoute(path string) bool {
+	switch path {
+	case "/", "/healthz", "/api/catalogue", "/api/manifest", "/api/store",
+		"/api/metrics", "/api/progress":
+		return true
+	}
+	if strings.HasPrefix(path, "/outputs/") || strings.HasPrefix(path, "/bench/") {
+		return true
+	}
+	return s.debug && strings.HasPrefix(path, "/debug/pprof/")
+}
+
+// readOnly rejects every method except GET and HEAD on known routes —
+// the sweep producer writes through the filesystem, never through the
+// API — and 404s unknown paths whatever the method. It also counts
+// every request into the registry.
+func (s *server) readOnly(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mRequests.Inc()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			if !s.knownRoute(r.URL.Path) {
+				http.NotFound(w, r)
+				return
+			}
 			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "read-only API", http.StatusMethodNotAllowed)
 			return
@@ -173,15 +223,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serveJSON(w, r, map[string]any{
-		"service": "sweepd",
-		"endpoints": []string{
-			"/healthz",
-			"/api/catalogue",
-			"/api/manifest",
-			"/api/store",
-			"/outputs/<file>",
-			"/bench/",
-		},
+		"service":   "sweepd",
+		"endpoints": s.routeList(),
 	})
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -21,6 +22,12 @@ type Runner struct {
 	store    *ResultStore
 	manifest *Manifest
 	timings  *Timings
+	// Live progress counters (see Progress). Always on: one atomic add
+	// per work unit.
+	unitsTotal    atomic.Int64
+	unitsDone     atomic.Int64
+	unitsComputed atomic.Int64
+	unitsCached   atomic.Int64
 }
 
 // NewRunner validates opts, creates the output directory (and the
@@ -29,6 +36,9 @@ func NewRunner(opts Options) (*Runner, error) {
 	opts, err := opts.Validate()
 	if err != nil {
 		return nil, err
+	}
+	if opts.Metrics {
+		metrics.SetEnabled(true)
 	}
 	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: creating %s: %w", opts.OutDir, err)
@@ -98,7 +108,11 @@ func (r *Runner) Run(names []string) error {
 			return fmt.Errorf("%s: %w", e.Name, err)
 		}
 	}
-	return r.WriteManifest()
+	if err := r.WriteManifest(); err != nil {
+		return err
+	}
+	r.logStoreSummary()
+	return r.writeMetrics()
 }
 
 func (r *Runner) runOne(e *Experiment) error {
@@ -213,9 +227,20 @@ func (c *Context) RunUnits(units []Unit) error {
 		c.recordPoint(u.Scenario, u.Point)
 	}
 	c.rec.Units += len(units)
+	c.runner.unitsTotal.Add(int64(len(units)))
+	if metrics.Enabled() {
+		mUnitsTotal.Add(uint64(len(units)))
+	}
 	return c.runner.pool.Do(len(units), func(i int) error {
 		u := units[i]
-		if err := u.Run(); err != nil {
+		start := time.Now()
+		err := u.Run()
+		c.runner.unitsDone.Add(1)
+		if metrics.Enabled() {
+			mUnitWall.ObserveDuration(time.Since(start))
+			mUnitsDone.Inc()
+		}
+		if err != nil {
 			return fmt.Errorf("%s/%s round %d: %w", u.Scenario, u.Point, u.Round, err)
 		}
 		return nil
@@ -258,6 +283,10 @@ func (c *Context) loadUnit(key string) *UnitResult {
 		return nil
 	}
 	c.cached.Add(1)
+	c.runner.unitsCached.Add(1)
+	if metrics.Enabled() {
+		mUnitsCached.Inc()
+	}
 	return res
 }
 
@@ -266,6 +295,10 @@ func (c *Context) loadUnit(key string) *UnitResult {
 // sweep to recomputation, never fails it.
 func (c *Context) saveUnit(key string, res *UnitResult) {
 	c.computed.Add(1)
+	c.runner.unitsComputed.Add(1)
+	if metrics.Enabled() {
+		mUnitsComputed.Inc()
+	}
 	if c.runner.store == nil {
 		return
 	}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+)
+
+// The harness is the concurrent tier of the metrics story: work units run
+// on pool workers, so everything here goes straight to the registry's
+// atomics (the per-round plain counters live below, in sim and mac, and
+// are flushed by the scenario layer). Handles resolve once at package
+// init.
+var (
+	mUnitsTotal = metrics.NewCounter("harness_units_total",
+		"work units submitted to the sweep pool")
+	mUnitsDone = metrics.NewCounter("harness_units_done_total",
+		"work units finished (computed or served from the result store)")
+	mUnitsComputed = metrics.NewCounter("harness_units_computed_total",
+		"work units simulated in this process")
+	mUnitsCached = metrics.NewCounter("harness_units_cached_total",
+		"work units served from the content-addressed result store")
+	mUnitWall = metrics.NewHistogram("harness_unit_wall_seconds",
+		"wall time per work unit (cached loads included)")
+
+	mResultHits = metrics.NewCounter("result_store_hits_total",
+		"result-store loads that served a stored unit")
+	mResultMisses = metrics.NewCounter("result_store_misses_total",
+		"result-store loads that found no usable entry")
+	mResultReadBytes = metrics.NewCounter("result_store_read_bytes_total",
+		"bytes read from the result store")
+	mResultSaves = metrics.NewCounter("result_store_saves_total",
+		"unit results written to the result store")
+	mResultWrittenBytes = metrics.NewCounter("result_store_written_bytes_total",
+		"bytes written to the result store")
+)
+
+// MetricsFile is the name of the per-run metrics snapshot written beside
+// timings.json. Like timings it is provenance, not results: its counts
+// depend on what was cached when the sweep ran, so it is excluded — with
+// timings.json — from byte-identity comparisons of output directories.
+// Unlike timings it carries no wall times: only the deterministic
+// (counter/gauge) part of the registry snapshot is persisted, so two cold
+// runs of the same sweep write identical files.
+const MetricsFile = "metrics.json"
+
+// Progress is a point-in-time view of a running sweep, for progress
+// tickers and the sweepd progress endpoint. Counters are always on —
+// they cost one atomic add per work unit, far off any simulation path.
+type Progress struct {
+	UnitsTotal    int64 `json:"units_total"`
+	UnitsDone     int64 `json:"units_done"`
+	UnitsComputed int64 `json:"units_computed"`
+	UnitsCached   int64 `json:"units_cached"`
+}
+
+// Progress returns the runner's live unit counters.
+func (r *Runner) Progress() Progress {
+	return Progress{
+		UnitsTotal:    r.unitsTotal.Load(),
+		UnitsDone:     r.unitsDone.Load(),
+		UnitsComputed: r.unitsComputed.Load(),
+		UnitsCached:   r.unitsCached.Load(),
+	}
+}
+
+// flushStoreStats mirrors the result store's always-on counters into the
+// registry. Called once, when the metrics snapshot is written; the store
+// counts from open, so an earlier flush would double-count.
+func (r *Runner) flushStoreStats() {
+	if r.store == nil {
+		return
+	}
+	st := r.store.Stats()
+	mResultHits.Add(st.Hits)
+	mResultMisses.Add(st.Misses)
+	mResultReadBytes.Add(st.ReadBytes)
+	mResultSaves.Add(st.Saves)
+	mResultWrittenBytes.Add(st.WrittenBytes)
+}
+
+// writeMetrics writes the run's metrics.json when the registry is
+// enabled: the deterministic part of the default registry's snapshot,
+// result-store counters folded in. No-op otherwise.
+func (r *Runner) writeMetrics() error {
+	if !metrics.Enabled() {
+		return nil
+	}
+	r.flushStoreStats()
+	snap := metrics.Default().Snapshot().Deterministic()
+	path := filepath.Join(r.opts.OutDir, MetricsFile)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("harness: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	err = snap.WriteJSON(w)
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("harness: writing %s: %w", path, err)
+	}
+	r.logf("wrote %s", path)
+	return nil
+}
+
+// logStoreSummary emits the end-of-sweep resume summary: how much of the
+// sweep the result store served versus what had to be computed. One line,
+// always on (it reads the store's own counters, not the registry).
+func (r *Runner) logStoreSummary() {
+	if r.store == nil {
+		return
+	}
+	st := r.store.Stats()
+	r.logf("result store: %d units hit / %d computed / %d bytes read",
+		st.Hits, r.unitsComputed.Load(), st.ReadBytes)
+}

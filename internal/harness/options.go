@@ -38,6 +38,12 @@ type Options struct {
 	TrafficStore string
 	// TrafficStoreCap is the traffic store's byte budget; 0 is unbounded.
 	TrafficStoreCap int64
+	// Metrics enables the process-wide telemetry registry
+	// (internal/metrics): simulator and store counters accumulate, and the
+	// runner writes a metrics.json snapshot beside timings.json. Off by
+	// default — the disabled registry costs the hot paths one predictable
+	// branch — and never affects traces or the manifest (test-enforced).
+	Metrics bool
 	// CodeDigest identifies the code that computed stored results; it is
 	// part of every result-store key, so results computed by different
 	// code never alias. Empty derives it from the build's VCS stamp
@@ -72,6 +78,7 @@ func (o *Options) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&o.ResultStore, "result-store", o.ResultStore, "directory of the content-addressed unit-result store (empty: recompute everything)")
 	fs.StringVar(&o.TrafficStore, "traffic-store", o.TrafficStore, "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
 	fs.Int64Var(&o.TrafficStoreCap, "traffic-store-cap", o.TrafficStoreCap, "byte budget of the traffic-trace store: least-recently-used traces are evicted past it (0: unbounded)")
+	fs.BoolVar(&o.Metrics, "metrics", o.Metrics, "enable the telemetry registry and write a metrics.json snapshot beside timings.json")
 	fs.StringVar(&o.CodeDigest, "code-digest", o.CodeDigest, "code identity mixed into result-store keys (empty: VCS build stamp, or \"dev\")")
 }
 

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/trace"
 )
@@ -65,6 +66,34 @@ type resultHeader struct {
 // its key, and one of the identical byte streams wins.
 type ResultStore struct {
 	dir string
+	// Always-on operation counters (atomics: workers share the store).
+	// They back the end-of-sweep resume summary, which must report even
+	// when the metrics registry is disabled; the registry mirrors them
+	// only at snapshot time.
+	hits, misses         atomic.Uint64
+	readBytes, writeSize atomic.Uint64
+	saves                atomic.Uint64
+}
+
+// ResultStoreStats is a point-in-time copy of a store's operation
+// counters since the store was opened.
+type ResultStoreStats struct {
+	Hits         uint64 // loads that served a stored unit
+	Misses       uint64 // loads that found no usable entry
+	ReadBytes    uint64 // bytes read serving hits (and rejecting bad files)
+	Saves        uint64 // units written
+	WrittenBytes uint64 // bytes written, header line included
+}
+
+// Stats returns the store's operation counters.
+func (s *ResultStore) Stats() ResultStoreStats {
+	return ResultStoreStats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		ReadBytes:    s.readBytes.Load(),
+		Saves:        s.saves.Load(),
+		WrittenBytes: s.writeSize.Load(),
+	}
 }
 
 // NewResultStore opens (creating if needed) a store rooted at dir.
@@ -95,6 +124,16 @@ func (s *ResultStore) Path(key string) string {
 // truncation, corruption) returns an error; callers treat that as a
 // miss and recompute, overwriting the bad file.
 func (s *ResultStore) Load(key string) (*UnitResult, error) {
+	res, err := s.load(key)
+	if res != nil {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return res, err
+}
+
+func (s *ResultStore) load(key string) (*UnitResult, error) {
 	path := s.Path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -103,6 +142,7 @@ func (s *ResultStore) Load(key string) (*UnitResult, error) {
 		}
 		return nil, fmt.Errorf("harness: result store: %w", err)
 	}
+	s.readBytes.Add(uint64(len(data)))
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
 		return nil, fmt.Errorf("harness: result store %s: truncated header", path)
@@ -210,6 +250,8 @@ func (s *ResultStore) Save(key string, res *UnitResult) error {
 	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
 		return fmt.Errorf("harness: result store: %w", err)
 	}
+	s.saves.Add(1)
+	s.writeSize.Add(uint64(len(hdrLine)) + 1 + uint64(body.Len()))
 	return nil
 }
 

@@ -220,7 +220,44 @@ type Medium struct {
 	pts      []geom.Point
 	overlaps []*transmission
 	wake     []*Station
+
+	// stats are the medium's plain event counters, maintained
+	// unconditionally (the medium is single-threaded and an increment is
+	// cheaper than a guarding branch) and read through Stats. They count
+	// what happened; they never influence delivery, ordering or
+	// randomness, so traces are byte-identical with or without a reader.
+	stats Stats
 }
+
+// Stats is a point-in-time copy of the medium's delivery counters. All
+// fields are deterministic counts, never wall-clock measures.
+type Stats struct {
+	// Transmissions counts frames put on the air; Deliveries counts
+	// successful frame receptions (the channel accepted the frame at a
+	// receiver, whether or not a handler observed it).
+	Transmissions uint64
+	Deliveries    uint64
+	// Drops counts non-deliveries by cause, indexed by DropReason
+	// (DropChannel..DropDecode; index 0 is unused).
+	Drops [5]uint64
+	// IndexQueries counts receiver-set enumerations answered by the
+	// spatial index, ScanQueries those answered by the exhaustive scan
+	// (small populations, Exhaustive mode, or unbounded horizons).
+	// IndexRebuilds counts full spatial-index rebuilds — refreshes that
+	// could not stay incremental.
+	IndexQueries  uint64
+	ScanQueries   uint64
+	IndexRebuilds uint64
+	// WireReuses counts wire buffers served from the free lists,
+	// WireAllocs those that had to be freshly allocated.
+	WireReuses uint64
+	WireAllocs uint64
+}
+
+// Stats returns the medium's counters so far. The medium is
+// single-threaded; call it from the owning goroutine (typically after
+// the run completes).
+func (m *Medium) Stats() Stats { return m.stats }
 
 type rangeKey struct {
 	mod   string
@@ -329,6 +366,7 @@ type rxCand struct {
 // they consume identical channel randomness downstream.
 func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, maxRange float64) []rxCand {
 	if m.cfg.Exhaustive || math.IsInf(maxRange, 1) || len(m.order) < m.cfg.MinIndexStations {
+		m.stats.ScanQueries++
 		out := m.rxc[:0]
 		for _, rx := range m.order {
 			if rx == src {
@@ -344,6 +382,7 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 	}
 
 	m.refreshIndex(now)
+	m.stats.IndexQueries++
 	// The index holds positions sampled at indexAt; a station may have
 	// moved since, but no further than its speed bound allows.
 	pad := m.cfg.MaxSpeedMPS * (now - m.indexAt).Seconds()
@@ -400,6 +439,7 @@ func (m *Medium) refreshIndex(now time.Duration) {
 // rebuildIndex rebuilds the spatial index from scratch over the stations'
 // current bounding box plus drift margin.
 func (m *Medium) rebuildIndex(now time.Duration) {
+	m.stats.IndexRebuilds++
 	m.pts = m.pts[:0]
 	minX, minY := math.Inf(1), math.Inf(1)
 	maxX, maxY := math.Inf(-1), math.Inf(-1)
@@ -487,9 +527,11 @@ func (m *Medium) getWire(n int) []byte {
 		(*pool)[k-1] = nil
 		*pool = (*pool)[:k-1]
 		if cap(b) >= n {
+			m.stats.WireReuses++
 			return b[:0]
 		}
 	}
+	m.stats.WireAllocs++
 	return make([]byte, 0, n)
 }
 
@@ -524,6 +566,7 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	if airtime > m.maxAirtime {
 		m.maxAirtime = airtime
 	}
+	m.stats.Transmissions++
 	m.tracer.OnTx(src.id, f, now, airtime)
 
 	// Stations that sense the new transmission abort their contention and
@@ -661,6 +704,7 @@ func (m *Medium) deliver(tx *transmission, i int) {
 	// definition, in the precomputed overlap set.
 	for _, other := range m.overlaps {
 		if other.src == rx {
+			m.stats.Drops[DropHalfDuplex]++
 			m.tracer.OnDrop(rx.id, tx.frame, now, DropHalfDuplex)
 			return
 		}
@@ -676,6 +720,7 @@ func (m *Medium) deliver(tx *transmission, i int) {
 		// survives only if it dominates the interferers by the capture
 		// margin.
 		if rxPower-interference < m.channel.CaptureThresholdDB() {
+			m.stats.Drops[DropCollision]++
 			m.tracer.OnDrop(rx.id, tx.frame, now, DropCollision)
 			return
 		}
@@ -684,6 +729,7 @@ func (m *Medium) deliver(tx *transmission, i int) {
 	decision := m.channel.DecideFrame(rxPower, interference, tx.mod, len(tx.wire))
 	meta := RxMeta{At: now, RxPowerDBm: decision.RxPowerDBm, SINRdB: decision.SINRdB}
 	if !decision.Received {
+		m.stats.Drops[DropChannel]++
 		m.tracer.OnDrop(rx.id, tx.frame, now, DropChannel)
 		if rx.cfg.DeliverCorrupt && rx.handler != nil {
 			if f := tx.decode(); f != nil {
@@ -698,15 +744,18 @@ func (m *Medium) deliver(tx *transmission, i int) {
 	// channel decision above — everything that consumes randomness or
 	// affects other stations — already ran.)
 	if m.nopTrace && rx.handler == nil {
+		m.stats.Deliveries++
 		return
 	}
 	// Decode from wire bytes: the CRC is part of the model. The decoded
 	// frame is shared by every receiver of the transmission (see Handler).
 	f := tx.decode()
 	if f == nil {
+		m.stats.Drops[DropDecode]++
 		m.tracer.OnDrop(rx.id, tx.frame, now, DropDecode)
 		return
 	}
+	m.stats.Deliveries++
 	m.tracer.OnRx(rx.id, f, meta)
 	if rx.handler != nil {
 		rx.handler.HandleFrame(f, meta)

@@ -14,6 +14,7 @@ import (
 	"repro/internal/carq"
 	"repro/internal/geom"
 	"repro/internal/mac"
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/packet"
 	"repro/internal/radio"
@@ -196,6 +197,12 @@ func Run(s Setup) (*Result, error) {
 	}
 	if err := engine.RunUntil(s.Duration); err != nil {
 		return nil, fmt.Errorf("scenario: run: %w", err)
+	}
+	// One predictable branch per round: the engine and medium count with
+	// plain fields while the simulation runs; only the flush into the
+	// shared registry is gated (and skipped entirely by default).
+	if metrics.Enabled() {
+		flushRunStats(engine, medium)
 	}
 	return &Result{Trace: col, Nodes: nodes}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -76,6 +77,13 @@ func (c *trafficTraceCache) get(key string, compute func() (*trace.Collector, er
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	if metrics.Enabled() {
+		if ok {
+			mCacheHits.Inc()
+		} else {
+			mCacheMisses.Inc()
+		}
+	}
 	e.once.Do(func() {
 		if store != nil {
 			// A load error means an unusable file (corrupt, truncated,

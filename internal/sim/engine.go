@@ -24,6 +24,15 @@ type Engine struct {
 
 	// processed counts events whose callbacks have run, for diagnostics.
 	processed uint64
+	// The remaining stat fields are plain counters on the single-threaded
+	// engine, maintained unconditionally (an increment is cheaper than
+	// any branch that would guard it) and read through Stats. They feed
+	// the metrics layer but never influence scheduling, so they are
+	// invisible to traces.
+	scheduled uint64 // events accepted by Schedule*/ScheduleCall
+	poolHits  uint64 // pooled schedules served from the free list
+	recycled  uint64 // pooled events returned to the free list
+	heapHW    int    // high-water mark of the queue length
 	// cancelledQueued counts events that were cancelled but are still
 	// physically in the queue (cancellation leaves them in place; the
 	// pop path discards them lazily). Pending subtracts it so callers
@@ -51,6 +60,37 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // so the count is exactly the number of callbacks still due to run.
 func (e *Engine) Pending() int { return e.queue.Len() - e.cancelledQueued }
 
+// Stats is a point-in-time copy of the engine's event-loop counters.
+// Everything here is a count of things that happened — deterministic for
+// a deterministic simulation — never a wall-clock measure.
+type Stats struct {
+	// Scheduled counts events accepted by Schedule, ScheduleAt and
+	// ScheduleCall; Processed counts events whose callbacks ran.
+	Scheduled uint64
+	Processed uint64
+	// PoolHits counts pooled schedules served from the free list (the
+	// steady-state hot path); Recycled counts pooled events returned to
+	// it. Scheduled-PoolHits bounds the event allocations.
+	PoolHits uint64
+	Recycled uint64
+	// HeapHighWater is the deepest the event queue ever grew, the
+	// capacity measure for the queue's backing array.
+	HeapHighWater int
+}
+
+// Stats returns the engine's counters so far. The engine is
+// single-threaded; call it from the owning goroutine (typically after
+// Run returns).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Scheduled:     e.scheduled,
+		Processed:     e.processed,
+		PoolHits:      e.poolHits,
+		Recycled:      e.recycled,
+		HeapHighWater: e.heapHW,
+	}
+}
+
 // Schedule arranges for fn to run after delay. Negative delays are clamped
 // to zero, so the event fires at the current time but strictly after the
 // callback that scheduled it returns.
@@ -74,6 +114,10 @@ func (e *Engine) ScheduleAt(t time.Duration, fn func()) *Event {
 	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	e.queue.Push(ev)
+	e.scheduled++
+	if l := e.queue.Len(); l > e.heapHW {
+		e.heapHW = l
+	}
 	return ev
 }
 
@@ -103,12 +147,17 @@ func (e *Engine) scheduleCallAt(t time.Duration, fn func(any), arg any) *Event {
 	if ev != nil {
 		e.free = ev.next
 		*ev = Event{}
+		e.poolHits++
 	} else {
 		ev = &Event{}
 	}
 	ev.at, ev.seq, ev.callFn, ev.arg, ev.pooled, ev.eng = t, e.seq, fn, arg, true, e
 	e.seq++
 	e.queue.Push(ev)
+	e.scheduled++
+	if l := e.queue.Len(); l > e.heapHW {
+		e.heapHW = l
+	}
 	return ev
 }
 
@@ -116,6 +165,7 @@ func (e *Engine) scheduleCallAt(t time.Duration, fn func(any), arg any) *Event {
 func (e *Engine) recycle(ev *Event) {
 	*ev = Event{next: e.free}
 	e.free = ev
+	e.recycled++
 }
 
 // Stop requests that Run return after the currently executing event. It is

@@ -14,7 +14,25 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
+)
+
+// Store observability: hit/miss/byte/eviction counters in the shared
+// registry, resolved once at package init and recorded only while
+// metrics are enabled. Store operations sit far off the simulation hot
+// path, so the registry atomics are recorded directly.
+var (
+	mStoreHits = metrics.NewCounter("traffic_store_hits_total",
+		"traffic-trace store loads that served a recorded world")
+	mStoreMisses = metrics.NewCounter("traffic_store_misses_total",
+		"traffic-trace store loads that found no usable entry")
+	mStoreReadBytes = metrics.NewCounter("traffic_store_read_bytes_total",
+		"bytes read from the traffic-trace store")
+	mStoreWrittenBytes = metrics.NewCounter("traffic_store_written_bytes_total",
+		"bytes written to the traffic-trace store")
+	mStoreEvictions = metrics.NewCounter("traffic_store_evictions_total",
+		"traffic-trace store entries evicted by the byte budget")
 )
 
 // StoreSchema is the on-disk format version. Bump it whenever the trace
@@ -97,12 +115,27 @@ func (s *Store) Path(key string) string {
 // truncation, corruption) returns an error; callers treat that as a miss
 // and recompute, overwriting the bad file.
 func (s *Store) Load(key string) (*trace.Collector, error) {
+	col, err := s.load(key)
+	if metrics.Enabled() {
+		if col != nil {
+			mStoreHits.Inc()
+		} else {
+			mStoreMisses.Inc()
+		}
+	}
+	return col, err
+}
+
+func (s *Store) load(key string) (*trace.Collector, error) {
 	data, err := os.ReadFile(s.Path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
 		}
 		return nil, fmt.Errorf("traffic: store: %w", err)
+	}
+	if metrics.Enabled() {
+		mStoreReadBytes.Add(uint64(len(data)))
 	}
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
@@ -179,6 +212,9 @@ func (s *Store) Save(key string, col *trace.Collector) error {
 	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
 		return fmt.Errorf("traffic: store: %w", err)
 	}
+	if metrics.Enabled() {
+		mStoreWrittenBytes.Add(uint64(len(hdr)) + 1 + uint64(body.Len()))
+	}
 	s.evict(s.Path(key))
 	return nil
 }
@@ -232,6 +268,9 @@ func (s *Store) evict(keep string) {
 		}
 		if os.Remove(f.path) == nil {
 			total -= f.size
+			if metrics.Enabled() {
+				mStoreEvictions.Inc()
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+#!/bin/sh
+# ci_metrics_smoke.sh — the telemetry gate without a server: run one
+# tiny sweep with -progress (which implies -metrics), then check that
+# (1) the stderr ticker reported unit progress, (2) metrics.json landed
+# beside timings.json with nonzero core counters, and (3) an
+# uninstrumented run of the same sweep produces byte-identical results —
+# the determinism contract the whole metrics layer is built on.
+set -eu
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+on="$work/on"
+off="$work/off"
+
+echo "==> instrumented sweep (-progress)"
+go run ./cmd/experiments \
+    -exp dynamics -rounds 2 -seed 1 -out "$on" \
+    -result-store "$work/store" \
+    -traffic-store "$work/traffic-on" \
+    -code-digest ci-metrics-gate -progress 2>"$work/on.log" \
+    || { cat "$work/on.log" >&2; exit 1; }
+cat "$work/on.log"
+
+grep -q '^progress: ' "$work/on.log" || {
+    echo "FAIL: -progress printed no ticker lines" >&2
+    exit 1
+}
+grep -q 'result store: ' "$work/on.log" || {
+    echo "FAIL: no end-of-sweep result-store summary" >&2
+    exit 1
+}
+
+echo "==> metrics.json core counters"
+[ -f "$on/metrics.json" ] || { echo "FAIL: no metrics.json" >&2; exit 1; }
+for name in sim_events_processed_total mac_transmissions_total harness_units_computed_total; do
+    if ! grep -A1 "\"$name\"" "$on/metrics.json" | grep -Eq '"value": *[1-9]'; then
+        echo "FAIL: $name missing or zero in metrics.json" >&2
+        exit 1
+    fi
+done
+
+echo "==> uninstrumented control run"
+go run ./cmd/experiments \
+    -exp dynamics -rounds 2 -seed 1 -out "$off" \
+    -traffic-store "$work/traffic-off" \
+    -code-digest ci-metrics-gate
+
+# Identity: everything but the provenance sidecars must match byte for
+# byte (the control run writes no metrics.json at all).
+if ! diff -r --exclude=timings.json --exclude=metrics.json "$on" "$off"; then
+    echo "FAIL: metrics instrumentation changed the sweep's outputs" >&2
+    exit 1
+fi
+if [ -f "$off/metrics.json" ]; then
+    echo "FAIL: uninstrumented run wrote metrics.json" >&2
+    exit 1
+fi
+
+echo "OK: progress ticker, metrics.json counters, and byte-identity with metrics off"

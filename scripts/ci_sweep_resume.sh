@@ -12,18 +12,21 @@ store="$work/store"
 out1="$work/run1"
 out2="$work/run2"
 
+# -progress enables the telemetry registry and the stderr ticker; the
+# identity gate below proves neither perturbs a byte of the results.
 sweep() {
     go run ./cmd/experiments \
         -exp highway,dynamics -rounds 2 -seed 1 \
         -out "$1" -result-store "$store" \
         -traffic-store "$work/traffic-store" \
-        -code-digest ci-resume-gate
+        -code-digest ci-resume-gate -progress
 }
 
 echo "==> cold sweep"
 sweep "$out1"
 echo "==> warm sweep (same store)"
-sweep "$out2"
+sweep "$out2" 2>"$work/warm.log" || { cat "$work/warm.log" >&2; exit 1; }
+cat "$work/warm.log"
 
 # Gate 1: the warm run computed nothing.
 if grep -E '"units_computed": *[1-9]' "$out2/timings.json"; then
@@ -37,10 +40,16 @@ if ! grep -Eq '"units_cached": *[1-9]' "$out2/timings.json"; then
     exit 1
 fi
 
-# Gate 2: byte-identical outputs, manifest included. Only the
-# timings.json provenance sidecar (wall clock, cache counters) may
-# differ between the runs.
-if ! diff -r --exclude=timings.json "$out1" "$out2"; then
+# ... and said so: the end-of-sweep resume summary must report the hits.
+if ! grep -Eq 'result store: [1-9][0-9]* units hit / 0 computed' "$work/warm.log"; then
+    echo "FAIL: warm sweep printed no resume summary" >&2
+    exit 1
+fi
+
+# Gate 2: byte-identical outputs, manifest included. Only the provenance
+# sidecars may differ between the runs: timings.json (wall clock, cache
+# counters) and metrics.json (hit counts where the cold run has misses).
+if ! diff -r --exclude=timings.json --exclude=metrics.json "$out1" "$out2"; then
     echo "FAIL: resumed sweep outputs diverge from the cold run" >&2
     exit 1
 fi

@@ -1,7 +1,8 @@
 #!/bin/sh
 # ci_sweepd_smoke.sh — end-to-end smoke of the results API: run a tiny
 # sweep, start sweepd on it, and check the catalogue, one output's
-# content type, and the ETag/If-None-Match 304 contract.
+# content type, the ETag/If-None-Match 304 contract, and the telemetry
+# endpoints (/api/metrics Prometheus exposition, /api/progress).
 set -eu
 
 work="$(mktemp -d)"
@@ -15,10 +16,23 @@ trap cleanup EXIT
 out="$work/results"
 addr="127.0.0.1:18080"
 
-echo "==> sweep"
+# Two runs against one result store: the first seeds it with the
+# dynamics units, the second computes highway cold and serves dynamics
+# warm — so its metrics.json carries nonzero sim counters AND nonzero
+# store hits and misses at once.
+echo "==> sweep (seed the result store)"
 go run ./cmd/experiments \
-    -exp dynamics -rounds 2 -seed 1 -out "$out" \
-    -traffic-store "$work/traffic-store"
+    -exp dynamics -rounds 2 -seed 1 -out "$work/seed-run" \
+    -result-store "$work/store" \
+    -traffic-store "$work/traffic-store" \
+    -code-digest ci-smoke -metrics
+
+echo "==> sweep (half warm, with -metrics)"
+go run ./cmd/experiments \
+    -exp highway,dynamics -rounds 2 -seed 1 -out "$out" \
+    -result-store "$work/store" \
+    -traffic-store "$work/traffic-store" \
+    -code-digest ci-smoke -metrics
 
 echo "==> build + start sweepd"
 go build -o "$work/sweepd" ./cmd/sweepd
@@ -66,4 +80,42 @@ if [ -n "$svg" ]; then
     }
 fi
 
-echo "OK: sweepd serves the catalogue, typed outputs and 304s on matching ETags"
+echo "==> /api/metrics: valid exposition with nonzero core counters"
+curl -fsS "http://$addr/api/metrics" > "$work/metrics.prom"
+go run ./cmd/benchjson -promlint \
+    -nonzero sim_events_processed_total,result_store_hits_total,result_store_misses_total,harness_units_cached_total,sweepd_http_requests_total \
+    < "$work/metrics.prom"
+ct="$(curl -fsSI "http://$addr/api/metrics" | tr -d '\r' \
+    | sed -n 's/^[Cc]ontent-[Tt]ype: *//p')"
+case "$ct" in
+    text/plain*version=0.0.4*) ;;
+    *) echo "FAIL: /api/metrics content type '$ct'" >&2; exit 1 ;;
+esac
+curl -fsS -H 'Accept: application/json' "http://$addr/api/metrics" > "$work/metrics.json"
+grep -q '"counters"' "$work/metrics.json" || {
+    echo "FAIL: /api/metrics ignored Accept: application/json" >&2
+    exit 1
+}
+
+echo "==> /api/progress"
+progress="$(curl -fsS "http://$addr/api/progress")"
+echo "$progress" | grep -Eq '"units_total": *[1-9]' || {
+    echo "FAIL: progress reports no units: $progress" >&2
+    exit 1
+}
+echo "$progress" | grep -Eq '"units_cached": *[1-9]' || {
+    echo "FAIL: progress misses the cached units: $progress" >&2
+    exit 1
+}
+
+echo "==> index lists the telemetry routes; 405 vs 404 on writes"
+curl -fsS "http://$addr/" | grep -q '/api/metrics' || {
+    echo "FAIL: index does not list /api/metrics" >&2
+    exit 1
+}
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/api/metrics")"
+[ "$code" = 405 ] || { echo "FAIL: POST on a known route answered $code, want 405" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/no/such/route")"
+[ "$code" = 404 ] || { echo "FAIL: POST on an unknown route answered $code, want 404" >&2; exit 1; }
+
+echo "OK: sweepd serves the catalogue, typed outputs, 304s, metrics and progress"
