@@ -77,6 +77,7 @@ func runCityMedium(tb testing.TB, mcfg mac.MediumConfig, seed int64) int {
 	engine := sim.New()
 	ch := radio.MustChannel(cityBenchChannel(seed))
 	m := mac.NewMediumWith(engine, ch, nil, mcfg)
+	defer m.Close()
 
 	var stations []*mac.Station
 	for i, ap := range aps {
@@ -160,6 +161,10 @@ func BenchmarkCityScale(b *testing.B) {
 	}{
 		{"indexed", mac.MediumConfig{}},
 		{"exhaustive", mac.MediumConfig{Exhaustive: true}},
+		// No dash before the worker count: benchjson strips one trailing
+		// -N (the GOMAXPROCS suffix), which would alias the two arms.
+		{"tiled2", mac.MediumConfig{TileWorkers: 2}},
+		{"tiled4", mac.MediumConfig{TileWorkers: 4}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -19,9 +19,13 @@ func (p Point) Add(v Vec) Point { return Point{p.X + v.DX, p.Y + v.DY} }
 // Sub returns the vector from q to p.
 func (p Point) Sub(q Point) Vec { return Vec{p.X - q.X, p.Y - q.Y} }
 
-// Dist returns the Euclidean distance between p and q.
+// Dist returns the Euclidean distance between p and q. Coordinates are
+// metres in a local frame, so the plain sqrt form is safe (math.Hypot's
+// overflow/underflow rescaling would be pure cost at these magnitudes)
+// and sits on the delivery hot path.
 func (p Point) Dist(q Point) float64 {
-	return math.Hypot(p.X-q.X, p.Y-q.Y)
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
 }
 
 // String implements fmt.Stringer.
@@ -32,8 +36,9 @@ type Vec struct {
 	DX, DY float64
 }
 
-// Len returns the Euclidean norm of v.
-func (v Vec) Len() float64 { return math.Hypot(v.DX, v.DY) }
+// Len returns the Euclidean norm of v. Like Point.Dist it uses the plain
+// sqrt form; displacements are metres.
+func (v Vec) Len() float64 { return math.Sqrt(v.DX*v.DX + v.DY*v.DY) }
 
 // Scale returns v scaled by k.
 func (v Vec) Scale(k float64) Vec { return Vec{v.DX * k, v.DY * k} }
@@ -162,6 +167,45 @@ func (pl *Polyline) PointHeading(s float64) (Point, Vec) {
 		p = Lerp(pl.pts[lo], pl.pts[hi], (s-pl.cum[lo])/segLen)
 	}
 	return p, pl.dirs[lo]
+}
+
+// Segment describes one polyline segment and its arc-length span, for
+// callers that cache segment geometry across repeated evaluations (the
+// traffic replay cursor). Evaluating Lerp(Lo, Hi, (s-CumLo)/(CumHi-CumLo))
+// for s in [CumLo, CumHi) reproduces At(s) bit-for-bit, and Dir is
+// Heading(s) over the same span.
+type Segment struct {
+	CumLo, CumHi float64
+	Lo, Hi       Point
+	Dir          Vec
+}
+
+// SegmentAt returns the segment containing arc length s, using the same
+// search At and PointHeading run. It reports false for the clamped end
+// cases (s <= 0 or s >= Length) and for zero-length segments, where the
+// Segment evaluation above would not reproduce At exactly.
+func (pl *Polyline) SegmentAt(s float64) (Segment, bool) {
+	total := pl.Length()
+	if s <= 0 || s >= total {
+		return Segment{}, false
+	}
+	lo, hi := 0, len(pl.cum)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if pl.cum[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if pl.cum[hi] == pl.cum[lo] {
+		return Segment{}, false
+	}
+	return Segment{
+		CumLo: pl.cum[lo], CumHi: pl.cum[hi],
+		Lo: pl.pts[lo], Hi: pl.pts[hi],
+		Dir: pl.dirs[lo],
+	}, true
 }
 
 // AtLooped returns the point at arc length s on the closed loop formed by

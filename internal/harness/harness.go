@@ -22,6 +22,10 @@ type Runner struct {
 	store    *ResultStore
 	manifest *Manifest
 	timings  *Timings
+	// tileWorkers is the resolved intra-simulation worker budget
+	// (Options.EffectiveTileWorkers against the pool width), applied to
+	// every Batch unit whose config does not set its own.
+	tileWorkers int
 	// Live progress counters (see Progress). Always on: one atomic add
 	// per work unit.
 	unitsTotal    atomic.Int64
@@ -51,9 +55,10 @@ func NewRunner(opts Options) (*Runner, error) {
 	}
 	pool := NewPool(opts.Workers)
 	return &Runner{
-		opts:  opts,
-		pool:  pool,
-		store: store,
+		opts:        opts,
+		pool:        pool,
+		store:       store,
+		tileWorkers: opts.EffectiveTileWorkers(pool.Workers()),
 		manifest: &Manifest{
 			Schema: ManifestSchema,
 			Seed:   opts.Seed,
@@ -207,6 +212,13 @@ func (c *Context) CappedRounds(n int) int {
 	}
 	return n
 }
+
+// TileWorkers returns the resolved intra-simulation worker budget for
+// this run: Options.TileWorkers capped so that sweep workers times tile
+// workers never exceeds GOMAXPROCS, and 0 when the request was 0 or no
+// headroom is left. Batch result builders apply it to every unit whose
+// config does not pin its own Medium.TileWorkers.
+func (c *Context) TileWorkers() int { return c.runner.tileWorkers }
 
 // Seed returns the run's root seed. Studies put it in their scenario
 // configs; each round function then derives its own streams from it and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/mac"
 	"repro/internal/packet"
 	"repro/internal/scenario"
 	"repro/internal/trace"
@@ -35,6 +36,18 @@ type Batch struct {
 
 // Batch starts an empty work-unit batch.
 func (c *Context) Batch() *Batch { return &Batch{ctx: c} }
+
+// applyTileBudget applies the run's resolved intra-simulation worker
+// budget (Context.TileWorkers) to one unit's medium config. A config
+// that pins its own TileWorkers wins; traces are byte-identical at any
+// worker count, so this only decides scheduling — but it runs before
+// the config digest is taken, so stored units keyed under one budget
+// are never served to a sweep requesting another.
+func (b *Batch) applyTileBudget(m *mac.MediumConfig) {
+	if m.TileWorkers == 0 {
+		m.TileWorkers = b.ctx.TileWorkers()
+	}
+}
 
 // Go executes every accumulated unit on the shared pool, then runs the
 // finalisers that stitch per-round outputs into the returned results.
@@ -137,6 +150,7 @@ func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.Test
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	// The pool owns concurrency; a nested parallel loop would only fight
 	// it for cores.
 	ncfg.Parallel = false
@@ -181,6 +195,7 @@ func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.High
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.HighwayResult{
 		Config: ncfg,
 		CarIDs: scenario.CarIDs(ncfg.Cars),
@@ -212,6 +227,7 @@ func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.Co
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.CorridorResult{
 		Config:      ncfg,
 		CarIDs:      scenario.CarIDs(ncfg.Cars),
@@ -244,6 +260,7 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.TwoWayResult{
 		Config:   ncfg,
 		CarIDs:   scenario.CarIDs(ncfg.Cars),
@@ -278,6 +295,7 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.TrafficGridResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -310,6 +328,7 @@ func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.CityScaleResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -345,6 +364,7 @@ func (b *Batch) CityDemand(point string, cfg scenario.CityDemandConfig) *scenari
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.CityDemandResult{
 		Config:   ncfg,
 		CarIDs:   scenario.CarIDs(ncfg.Cars),
@@ -389,6 +409,7 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 	if ncfg.Arm == "" {
 		ncfg.Arm = point
 	}
+	b.applyTileBudget(&ncfg.Medium)
 	res := &scenario.StopGoResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -419,6 +440,7 @@ func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.D
 	if cfg.Arm == "" {
 		cfg.Arm = point
 	}
+	b.applyTileBudget(&cfg.Medium)
 	res := new(*scenario.DownloadResult)
 	b.addStoredRounds("download", point, 1, cfg,
 		func(int) (*UnitResult, error) {

@@ -1,0 +1,117 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestTileWorkerBudget pins the composition rule between the two levels
+// of parallelism: sweep workers times intra-simulation tile workers must
+// never exceed the core count, and a budget with no headroom degrades to
+// single-threaded units instead of oversubscribing.
+func TestTileWorkerBudget(t *testing.T) {
+	cases := []struct {
+		requested, sweepWorkers, maxProcs, want int
+	}{
+		{0, 4, 16, 0},  // not requested
+		{-3, 4, 16, 0}, // negative request is off
+		{4, 4, 16, 4},  // 4x4 fits 16 exactly
+		{8, 4, 16, 4},  // capped: 4 sweep workers leave 4 cores each
+		{2, 4, 16, 2},  // under budget: honoured as asked
+		{4, 16, 16, 0}, // one core per unit: no headroom, untiled
+		{4, 12, 16, 0}, // fractional core each: still no headroom
+		{4, 1, 16, 4},  // single sweep worker gets the machine
+		{99, 1, 16, 16},
+		{4, 0, 16, 0}, // sweepWorkers 0 means GOMAXPROCS units
+		{4, 2, 1, 0},  // one-core host: never tile
+		{1, 1, 8, 1},  // degenerate but explicit single tile worker
+	}
+	for _, c := range cases {
+		if got := tileWorkerBudget(c.requested, c.sweepWorkers, c.maxProcs); got != c.want {
+			t.Errorf("tileWorkerBudget(%d, %d, %d) = %d, want %d",
+				c.requested, c.sweepWorkers, c.maxProcs, got, c.want)
+		}
+	}
+}
+
+// TestOptionsRejectNegativeTileWorkers: the flag surface must refuse a
+// nonsensical request instead of silently running untiled.
+func TestOptionsRejectNegativeTileWorkers(t *testing.T) {
+	o := DefaultOptions()
+	o.TileWorkers = -1
+	if _, err := o.Validate(); err == nil {
+		t.Fatal("negative tile workers accepted")
+	}
+}
+
+// TestBatchAppliesTileBudget: every unit a Batch builds inherits the
+// run's resolved budget unless its config pinned one.
+func TestBatchAppliesTileBudget(t *testing.T) {
+	r := newTestRunner(t, 1)
+	r.tileWorkers = 2 // as if EffectiveTileWorkers resolved 2 on this host
+	c := &Context{runner: r, rec: &ExperimentRecord{}}
+	b := c.Batch()
+
+	cfg := scenario.DefaultTestbed()
+	cfg.Rounds = 1
+	res := b.Testbed("budget", cfg)
+
+	pinned := scenario.DefaultTestbed()
+	pinned.Rounds = 1
+	pinned.Medium.TileWorkers = 4
+	resPinned := b.Testbed("pinned", pinned)
+
+	if err := b.Go(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Config.Medium.TileWorkers; got != 2 {
+		t.Errorf("unit ran with TileWorkers %d, want the run budget 2", got)
+	}
+	if got := resPinned.Config.Medium.TileWorkers; got != 4 {
+		t.Errorf("pinned config overridden to %d, want 4", got)
+	}
+}
+
+// TestHarnessTiledMatchesUntiled is the harness half of the tiled
+// executor's contract: a sweep run with an intra-simulation worker
+// budget produces byte-identical round traces to the untiled run. (The
+// result-store keys differ — the budget is part of the digested config —
+// so only the traces can be compared, which is exactly the contract.)
+func TestHarnessTiledMatchesUntiled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	run := func(tileWorkers int) [][]byte {
+		r := newTestRunner(t, 2)
+		r.tileWorkers = tileWorkers
+		c := &Context{runner: r, rec: &ExperimentRecord{}}
+		b := c.Batch()
+		cfg := scenario.DefaultTestbed()
+		cfg.Rounds = 2
+		res := b.Testbed("p", cfg)
+		if err := b.Go(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(res.Rounds))
+		for i, col := range res.Rounds {
+			var buf bytes.Buffer
+			if err := col.WriteJSONL(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+	untiled := run(0)
+	tiled := run(2)
+	for i := range untiled {
+		if len(untiled[i]) == 0 {
+			t.Fatalf("round %d trace is empty", i)
+		}
+		if !bytes.Equal(untiled[i], tiled[i]) {
+			t.Fatalf("round %d differs between untiled and tiled units", i)
+		}
+	}
+}

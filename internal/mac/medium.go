@@ -3,6 +3,7 @@ package mac
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/geom"
@@ -73,14 +74,37 @@ type transmission struct {
 	start time.Duration
 	end   time.Duration
 	// dests are the stations inside the transmission's reception horizon
-	// at start, in registration order — the only stations the frame can
-	// reach, interfere at, or be sensed by (see MediumConfig).
+	// at start whose sampled mean power clears the certain-loss floor, in
+	// registration order — the only stations the frame can reach,
+	// interfere at, or be sensed by (see MediumConfig and the stage-zero
+	// cull in startTransmission).
 	dests []*Station
 	// pows[i] is the mean rx power at dests[i], sampled at start. A
 	// parallel slice, not a map: the horizon keeps the set small enough
 	// that a linear scan beats hashing, and the allocation matters at
 	// city-scale transmission rates.
 	pows []float64
+	// fades[i] is dests[i]'s per-directed-link frame-randomness stream,
+	// prefetched on the simulation loop so workers never touch the
+	// channel's lazy maps. Always non-nil: receivers whose loss is
+	// certain never enter dests (the stage-zero cull).
+	fades []*radio.FadeStream
+	// draws[i] is dests[i]'s resolved frame randomness and interference-
+	// free decision, filled by resolveFrames — inline on the simulation
+	// loop (single-threaded path) or by a tile worker during the frame's
+	// airtime (tiled path).
+	draws []radio.FrameDraw
+	// edges are the exact PER decision edges for this frame's
+	// (modulation, size), resolved once at transmission start.
+	edges radio.FrameEdges
+	// state is the tiled resolver's claim word: epoch<<2 | phase. The
+	// epoch increments when the transmission recycles, so a stale ring
+	// entry for a previous incarnation can never claim the new one; the
+	// phase walks pending → running → done. Untouched on the single-
+	// threaded path.
+	state atomic.Uint32
+	// tile is the source's tile index at transmission start (tiled path).
+	tile int32
 	// rxFrame is the frame decoded from wire, shared by every receiver
 	// (decode is lazy: transmissions nobody decodes never pay for it).
 	rxFrame *packet.Frame
@@ -89,6 +113,13 @@ type transmission struct {
 	// recycle when they age out of the interference history.
 	next *transmission
 }
+
+// Claim phases of transmission.state (low two bits).
+const (
+	txPending uint32 = iota
+	txRunning
+	txDone
+)
 
 // powerAt returns the transmission's mean rx power at station s, if s was
 // inside its horizon.
@@ -133,6 +164,22 @@ type MediumConfig struct {
 	// 16; negative forces the index at any population — equivalence
 	// tests use that to exercise the indexed path on small scenarios.
 	MinIndexStations int
+	// TileWorkers, when positive, turns on the tiled conservative-
+	// parallel executor: the world is partitioned into tiles and each
+	// transmission's receiver resolutions (fading draws, PER, loss
+	// coins) run on the worker goroutine owning the source's tile,
+	// pipelined across the frame's airtime — the conservative lookahead
+	// window during which nothing can alter the frame's reception set or
+	// its per-link randomness. 0 keeps the single-threaded oracle. The
+	// two paths produce byte-identical traces at any worker count; the
+	// knob trades goroutines for wall-clock, never results.
+	TileWorkers int
+	// TileM is the tile edge in metres for the tiled executor's spatial
+	// partition. It must exceed the widest reception horizon so that a
+	// frame's receiver set spans at most the source tile and its
+	// neighbours; 0 defaults to four spatial-index cells (1 km at the
+	// default CellM), comfortably beyond the urban horizons.
+	TileM float64
 }
 
 func (c MediumConfig) withDefaults() MediumConfig {
@@ -147,6 +194,9 @@ func (c MediumConfig) withDefaults() MediumConfig {
 	}
 	if c.MinIndexStations == 0 {
 		c.MinIndexStations = 16
+	}
+	if c.TileM <= 0 {
+		c.TileM = 4 * c.CellM
 	}
 	return c
 }
@@ -221,6 +271,10 @@ type Medium struct {
 	overlaps []*transmission
 	wake     []*Station
 
+	// exec is the tiled conservative-parallel executor, nil on the
+	// single-threaded path (TileWorkers == 0).
+	exec *tileExec
+
 	// stats are the medium's plain event counters, maintained
 	// unconditionally (the medium is single-threaded and an increment is
 	// cheaper than a guarding branch) and read through Stats. They count
@@ -252,6 +306,21 @@ type Stats struct {
 	// WireAllocs those that had to be freshly allocated.
 	WireReuses uint64
 	WireAllocs uint64
+	// Tiles is the tiled executor's partition size (0 when untiled).
+	// TiledResolves counts transmissions routed through it, CrossTileTx
+	// those whose receiver set spanned more than the source's tile.
+	// LookaheadStalls counts resolutions the simulation loop had to
+	// claim or wait for at delivery time (the worker had not finished
+	// within the frame's airtime — scheduling pressure, never a
+	// correctness event). TileResolveHighWater is the highest resolve
+	// count any single tile accumulated. All but LookaheadStalls are
+	// deterministic; the stall count depends on host scheduling and must
+	// stay out of anything trace- or manifest-addressed.
+	Tiles                uint64
+	TiledResolves        uint64
+	CrossTileTx          uint64
+	LookaheadStalls      uint64
+	TileResolveHighWater uint64
 }
 
 // Stats returns the medium's counters so far. The medium is
@@ -289,7 +358,20 @@ func NewMediumWith(engine *sim.Engine, channel *radio.Channel, tracer Tracer, cf
 		pruneAt:    32,
 	}
 	m.endCall = func(arg any) { m.endTransmission(arg.(*transmission)) }
+	if m.cfg.TileWorkers > 0 {
+		m.exec = newTileExec(m, m.cfg.TileWorkers)
+	}
 	return m
+}
+
+// Close joins the tiled executor's workers; reading Stats or recycling
+// the medium after a run requires it. Idempotent, and a no-op on the
+// single-threaded path.
+func (m *Medium) Close() {
+	if m.exec != nil {
+		m.exec.close()
+		m.exec = nil
+	}
 }
 
 // Engine returns the simulation engine driving this medium.
@@ -353,17 +435,24 @@ func (m *Medium) maxRangeFor(mod radio.Modulation, bytes int) float64 {
 	return r
 }
 
-// rxCand couples a candidate receiver with its exact position at the
-// transmission start.
+// rxCand couples a candidate receiver with its exact position and
+// distance from the source at the transmission start (the distance is a
+// by-product of the range filter; the power computation reuses it).
 type rxCand struct {
-	st  *Station
-	pos geom.Point
+	st   *Station
+	pos  geom.Point
+	dist float64
 }
 
-// recipients returns the stations inside maxRange of srcPos at now, in
-// registration order, excluding src. The indexed and exhaustive paths
-// enumerate exactly the same set with exactly the same distance test, so
-// they consume identical channel randomness downstream.
+// recipients returns the stations inside maxRange of srcPos at now,
+// excluding src. The indexed and exhaustive paths enumerate exactly the
+// same set with exactly the same distance test, so they consume identical
+// channel randomness downstream. The order is NOT canonical (the indexed
+// path yields cell-scan order): per-candidate channel values are
+// order-independent (each link owns its random streams), and
+// startTransmission restores registration order on the few survivors of
+// the certain-loss cull — cheaper than sorting every raw cell-scan
+// candidate here.
 func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, maxRange float64) []rxCand {
 	if m.cfg.Exhaustive || math.IsInf(maxRange, 1) || len(m.order) < m.cfg.MinIndexStations {
 		m.stats.ScanQueries++
@@ -373,8 +462,8 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 				continue
 			}
 			p := rx.posAt(now)
-			if srcPos.Dist(p) <= maxRange {
-				out = append(out, rxCand{rx, p})
+			if d := srcPos.Dist(p); d <= maxRange {
+				out = append(out, rxCand{rx, p, d})
 			}
 		}
 		m.rxc = out
@@ -387,8 +476,7 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 	// moved since, but no further than its speed bound allows.
 	pad := m.cfg.MaxSpeedMPS * (now - m.indexAt).Seconds()
 	m.candIdx = m.index.IDsWithin(srcPos, maxRange+pad, m.candIdx[:0])
-	// Registration order, then the exact same filter the scan applies.
-	sortIdx(m.candIdx)
+	// Cell-scan order; the exact same filter the scan applies.
 	srcIdx := int32(src.idx)
 	out := m.rxc[:0]
 	for _, idx := range m.candIdx {
@@ -397,8 +485,8 @@ func (m *Medium) recipients(src *Station, srcPos geom.Point, now time.Duration, 
 		}
 		rx := m.order[idx]
 		p := rx.posAt(now)
-		if srcPos.Dist(p) <= maxRange {
-			out = append(out, rxCand{rx, p})
+		if d := srcPos.Dist(p); d <= maxRange {
+			out = append(out, rxCand{rx, p, d})
 		}
 	}
 	m.rxc = out
@@ -505,8 +593,15 @@ func (m *Medium) recycleTransmission(tx *transmission) {
 	tx.decoded = false
 	for i := range tx.dests {
 		tx.dests[i] = nil
+		tx.fades[i] = nil
 	}
-	tx.dests, tx.pows = tx.dests[:0], tx.pows[:0]
+	tx.dests, tx.pows, tx.fades = tx.dests[:0], tx.pows[:0], tx.fades[:0]
+	if m.exec != nil {
+		// New epoch, pending phase: a stale ring entry still carrying
+		// this transmission's previous incarnation can no longer win the
+		// claim.
+		tx.state.Store((tx.state.Load()>>2 + 1) << 2)
+	}
 	tx.next = m.txFree
 	m.txFree = tx
 }
@@ -558,9 +653,49 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	tx := m.getTransmission()
 	tx.src, tx.frame, tx.wire, tx.mod = src, f, wire, mod
 	tx.start, tx.end = now, now+airtime
+	tx.edges = m.channel.FrameEdges(mod, len(wire))
+	// Receivers whose sampled mean power sits below this floor are
+	// culled at stage zero: PER is exactly 1.0 whatever the fading draw,
+	// the power is too weak to trigger any carrier sensor, and it sits at
+	// least ~15 dB under the noise floor — below the interference cut the
+	// horizon already applies to out-of-range transmissions. Such
+	// receivers leave the dests set entirely and consume no randomness
+	// (the shadowing sample above is the last draw they influence).
+	// Corrupt-delivery receivers are exempt — their handlers observe
+	// every frame's fading sample through RxMeta.SINRdB, so they stay
+	// and resolve in full.
+	certainFloor := m.channel.CertainMeanFloorDBm(tx.edges)
 	for _, c := range cands {
+		link := src.linkTo(c.st)
+		pow := m.channel.MeanRxPowerLinkDBm(link.shadow, c.dist, srcPos, c.pos, now)
+		if pow <= certainFloor && !c.st.cfg.DeliverCorrupt {
+			continue
+		}
 		tx.dests = append(tx.dests, c.st)
-		tx.pows = append(tx.pows, m.channel.MeanRxPowerDBm(src.id, c.st.id, srcPos, c.pos, now))
+		tx.pows = append(tx.pows, pow)
+		tx.fades = append(tx.fades, link.fade)
+	}
+	// Restore registration order — the ordering contract behind delivery,
+	// sensing and trace byte-identity. The candidates arrive in cell-scan
+	// order on the indexed path, but after the cull only a survivor or
+	// two remain, so this insertion sort is near-free (and a no-op for
+	// the exhaustive path, which enumerates in order).
+	for i := 1; i < len(tx.dests); i++ {
+		for j := i; j > 0 && tx.dests[j].idx < tx.dests[j-1].idx; j-- {
+			tx.dests[j], tx.dests[j-1] = tx.dests[j-1], tx.dests[j]
+			tx.pows[j], tx.pows[j-1] = tx.pows[j-1], tx.pows[j]
+			tx.fades[j], tx.fades[j-1] = tx.fades[j-1], tx.fades[j]
+		}
+	}
+	if cap(tx.draws) < len(tx.dests) {
+		tx.draws = make([]radio.FrameDraw, len(tx.dests))
+	} else {
+		tx.draws = tx.draws[:len(tx.dests)]
+	}
+	if m.exec != nil {
+		m.exec.submit(tx, srcPos, cands)
+	} else {
+		m.resolveFrames(tx)
 	}
 	m.active = append(m.active, tx)
 	if airtime > m.maxAirtime {
@@ -578,6 +713,21 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	}
 
 	m.engine.ScheduleCall(airtime, m.endCall, tx)
+}
+
+// resolveFrames computes every non-culled receiver's frame draw and
+// interference-free decision. It is the one resolution routine of both
+// execution paths — the single-threaded medium calls it inline at
+// transmission start, tile workers call it during the frame's airtime —
+// so byte-identity between the paths holds by construction. It touches
+// only the channel's per-link streams (exclusive to this transmission's
+// links while it is on the air) and the transmission itself; never the
+// medium's mutable state.
+func (m *Medium) resolveFrames(tx *transmission) {
+	bytes := len(tx.wire)
+	for i, fs := range tx.fades {
+		tx.draws[i] = m.channel.ResolveFrame(fs, tx.pows[i], tx.edges, tx.mod, bytes)
+	}
 }
 
 // endTransmission resolves delivery of tx at each receiver and wakes
@@ -635,6 +785,9 @@ func (m *Medium) endTransmission(tx *transmission) {
 		m.overlaps[i], m.overlaps[j] = m.overlaps[j], m.overlaps[i]
 	}
 
+	if m.exec != nil {
+		m.exec.ensureResolved(tx)
+	}
 	for i := range tx.dests {
 		m.deliver(tx, i)
 	}
@@ -678,15 +831,6 @@ func sortStationsByIdx(ss []*Station) {
 	}
 }
 
-// sortIdx is sortStationsByIdx for raw registration indices.
-func sortIdx(xs []int32) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
-
 // enqueueWaiting registers a station for the next medium-idle wake-up.
 func (m *Medium) enqueueWaiting(s *Station) {
 	if !s.queuedWait {
@@ -726,7 +870,7 @@ func (m *Medium) deliver(tx *transmission, i int) {
 		}
 	}
 
-	decision := m.channel.DecideFrame(rxPower, interference, tx.mod, len(tx.wire))
+	decision := m.channel.FinishFrame(tx.fades[i], &tx.draws[i], rxPower, interference, tx.edges, tx.mod, len(tx.wire))
 	meta := RxMeta{At: now, RxPowerDBm: decision.RxPowerDBm, SINRdB: decision.SINRdB}
 	if !decision.Received {
 		m.stats.Drops[DropChannel]++
@@ -775,7 +919,8 @@ func (t *transmission) decode() *packet.Frame {
 // interferenceAt power-sums the transmissions that overlapped the frame
 // being delivered (precomputed in m.overlaps by endTransmission) at
 // receiver rx, in dBm. Returns -Inf when there is none. Transmissions
-// whose horizon excluded rx contribute nothing: their power at rx is
+// whose dests set excluded rx — out of horizon, or mean power under the
+// certain-loss floor — contribute nothing: their power at rx is
 // provably below the certain-loss floor, i.e. at least ~15 dB under the
 // noise floor.
 func (m *Medium) interferenceAt(rx *Station) float64 {

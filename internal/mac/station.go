@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/packet"
+	"repro/internal/radio"
 	"repro/internal/sim"
 )
 
@@ -48,6 +49,14 @@ type Station struct {
 	// queuedWait marks membership in the medium's wake-up list.
 	queuedWait bool
 
+	// links caches this station's outgoing per-receiver channel handles
+	// (shadowing process, fade stream) by receiver registration index:
+	// the delivery path touches both once per (frame, receiver) and one
+	// slice probe beats two of the channel's map lookups at city-scale
+	// rates. Entries are fetched lazily; the slice grows to the medium's
+	// population on first use.
+	links []stationLink
+
 	// posT/posP memoise the last position evaluation. Position functions
 	// are pure, and the delivery path often asks for the same station's
 	// position several times in one instant (index refresh plus exact
@@ -80,6 +89,32 @@ func (s *Station) QueueLen() int { return len(s.queue) - s.qhead }
 // SetHandler installs the receive handler; protocol layers that need a
 // reference to their own station call this after AddStation.
 func (s *Station) SetHandler(h Handler) { s.handler = h }
+
+// stationLink bundles the channel handles of one src→rx pair. Creating
+// either handle draws no randomness, so fetching both on the pair's first
+// contact is invisible in traces; the fade stream is only consumed when
+// the delivery path decides to resolve the receiver.
+type stationLink struct {
+	shadow *radio.ShadowLink
+	fade   *radio.FadeStream
+}
+
+// linkTo returns s's channel handles toward rx, probing the registration-
+// indexed cache before the channel's lazy maps. Simulation-loop only; the
+// returned fade stream is what tile workers use.
+func (s *Station) linkTo(rx *Station) *stationLink {
+	if rx.idx >= len(s.links) {
+		grown := make([]stationLink, len(s.medium.order))
+		copy(grown, s.links)
+		s.links = grown
+	}
+	l := &s.links[rx.idx]
+	if l.shadow == nil {
+		l.shadow = s.medium.channel.ShadowLink(s.id, rx.id)
+		l.fade = s.medium.channel.FadeStream(s.id, rx.id)
+	}
+	return l
+}
 
 // posAt returns the station's position at now, memoising the evaluation.
 func (s *Station) posAt(now time.Duration) geom.Point {

@@ -1,0 +1,147 @@
+package mac
+
+import (
+	"math"
+	"runtime"
+
+	"repro/internal/geom"
+	"repro/internal/tile"
+)
+
+// tileExec is the medium's conservative-parallel executor. It partitions
+// the world into tiles (edge > every reception horizon, so a frame's
+// receiver set spans at most the source tile and its neighbours) and
+// pipelines each transmission's receiver resolutions onto the worker
+// goroutine owning the source's tile.
+//
+// The conservative synchronisation argument, in event terms: a frame's
+// receiver set, mean powers, per-link streams and decision edges are all
+// frozen at its start event, and nothing observes its resolutions before
+// its end event — so the frame's airtime (never below the 192 µs PLCP
+// floor; see tile.Lookahead) is a window during which the resolution can
+// run anywhere. Per-link fade streams are only ever touched by their
+// source's in-flight transmission (half-duplex serialises the source), so
+// concurrent resolutions of different transmissions never share a stream
+// and the values consumed are independent of execution order. The end
+// event claims the result through a CAS state machine and the simulation
+// loop delivers — including merging cross-tile receivers — in the global
+// (at, seq) event order, which is why traces are byte-identical to the
+// single-threaded path at any tile/worker count.
+type tileExec struct {
+	m       *Medium
+	pool    *tile.Pool[resolveTask]
+	tiles   *tile.Map
+	perTile []uint64
+	closed  bool
+}
+
+// resolveTask asks a worker to resolve one transmission incarnation. The
+// stamp pins the incarnation: workers claim with CAS(stamp → running), so
+// a stale ring entry whose transmission already recycled (new epoch) can
+// never touch the new occupant.
+type resolveTask struct {
+	tx    *transmission
+	stamp uint32
+}
+
+// resolveRing is each worker's queue depth. At city-scale transmission
+// rates a frame resolves within microseconds of submission; the depth
+// only needs to absorb bursts, and an overflow falls back to an inline
+// resolve counted as a stall.
+const resolveRing = 256
+
+func newTileExec(m *Medium, workers int) *tileExec {
+	e := &tileExec{m: m}
+	e.pool = tile.NewPool(workers, resolveRing, func(_ int, t resolveTask) {
+		if t.tx.state.CompareAndSwap(t.stamp|txPending, t.stamp|txRunning) {
+			m.resolveFrames(t.tx)
+			t.tx.state.Store(t.stamp | txDone)
+		}
+	})
+	return e
+}
+
+// buildMap lays the tile grid over the station population's current
+// bounding box, padded like the spatial index so mobility stays in-bounds.
+// Built once, at the first transmission: positions are simulation-loop
+// state and the tile layout must be deterministic.
+func (e *tileExec) buildMap() {
+	now := e.m.engine.Now()
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, s := range e.m.order {
+		p := s.posAt(now)
+		minX, minY = math.Min(minX, p.X), math.Min(minY, p.Y)
+		maxX, maxY = math.Max(maxX, p.X), math.Max(maxY, p.Y)
+	}
+	pad := indexBoundsPadCells * e.m.cfg.CellM
+	bounds := geom.Rect{
+		MinX: minX - pad, MinY: minY - pad,
+		MaxX: maxX + pad, MaxY: maxY + pad,
+	}
+	tm, err := tile.NewMap(bounds, e.m.cfg.TileM)
+	if err != nil {
+		panic("mac: tile map: " + err.Error())
+	}
+	e.tiles = tm
+	e.perTile = make([]uint64, tm.Tiles())
+	e.m.stats.Tiles = uint64(tm.Tiles())
+}
+
+// submit routes a freshly started transmission to the worker owning its
+// source tile. Simulation-loop only; all accounting here is deterministic
+// (it depends on positions and the tile layout, never on scheduling).
+func (e *tileExec) submit(tx *transmission, srcPos geom.Point, cands []rxCand) {
+	if e.tiles == nil {
+		e.buildMap()
+	}
+	t := e.tiles.Locate(srcPos)
+	tx.tile = int32(t)
+	e.m.stats.TiledResolves++
+	e.perTile[t]++
+	if e.perTile[t] > e.m.stats.TileResolveHighWater {
+		e.m.stats.TileResolveHighWater = e.perTile[t]
+	}
+	for _, c := range cands {
+		if e.tiles.Locate(c.pos) != t {
+			e.m.stats.CrossTileTx++
+			break
+		}
+	}
+	stamp := tx.state.Load() &^ 3
+	if !e.pool.TrySubmit(t, resolveTask{tx: tx, stamp: stamp}) {
+		// Ring full: resolve inline rather than block the loop.
+		e.m.stats.LookaheadStalls++
+		e.m.resolveFrames(tx)
+		tx.state.Store(stamp | txDone)
+	}
+}
+
+// ensureResolved makes the transmission's draws available to the delivery
+// loop: the fast path observes the worker already done; otherwise the
+// loop claims the resolution for itself (or, having lost the claim race,
+// waits out the worker's in-flight resolve). Either way counts as a
+// lookahead stall — the resolution did not fit the airtime window.
+func (e *tileExec) ensureResolved(tx *transmission) {
+	s := tx.state.Load()
+	if s&3 == txDone {
+		return
+	}
+	e.m.stats.LookaheadStalls++
+	stamp := s &^ 3
+	if tx.state.CompareAndSwap(stamp|txPending, stamp|txRunning) {
+		e.m.resolveFrames(tx)
+		tx.state.Store(stamp | txDone)
+		return
+	}
+	for tx.state.Load()&3 != txDone {
+		runtime.Gosched()
+	}
+}
+
+func (e *tileExec) close() {
+	if !e.closed {
+		e.closed = true
+		e.pool.Close()
+	}
+}

@@ -1,0 +1,54 @@
+package mac
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTiledMatchesSingleThreaded is the property test behind the tiled
+// executor: over randomized topologies, speeds, schedules and seeds, the
+// tile-parallel delivery path must produce the exact event stream of the
+// single-threaded medium — same receptions, drops, corrupt soft copies,
+// PHY metadata and RNG evolution — at every worker count, including the
+// degenerate one-worker pool.
+func TestTiledMatchesSingleThreaded(t *testing.T) {
+	cases := []struct {
+		seed     int64
+		stations int
+		tileM    float64
+	}{
+		{21, 40, 0},   // default tile edge
+		{22, 40, 500}, // tiles much smaller than the horizon
+		{23, 80, 0},
+		{24, 80, 2000}, // coarse tiles, most traffic intra-tile
+		{25, 120, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d_n%d_tileM%v", tc.seed, tc.stations, tc.tileM), func(t *testing.T) {
+			single := runEquivalenceWorld(t, tc.seed, tc.stations, MediumConfig{})
+			if len(single.log) == 0 {
+				t.Fatal("empty event log")
+			}
+			for _, workers := range []int{1, 2, 4} {
+				tiled := runEquivalenceWorld(t, tc.seed, tc.stations,
+					MediumConfig{TileWorkers: workers, TileM: tc.tileM})
+				if len(tiled.log) != len(single.log) {
+					t.Fatalf("workers=%d: event counts differ: tiled %d vs single %d",
+						workers, len(tiled.log), len(single.log))
+				}
+				for i := range single.log {
+					if tiled.log[i] != single.log[i] {
+						t.Fatalf("workers=%d: event %d differs:\ntiled:  %s\nsingle: %s",
+							workers, i, tiled.log[i], single.log[i])
+					}
+				}
+			}
+			// The equivalence is only meaningful if the horizon culled
+			// receivers (as in the indexed/exhaustive property test).
+			if single.deliveries >= single.txCount*(tc.stations-1) {
+				t.Fatal("no transmission was culled; the topology does not exercise the horizon")
+			}
+		})
+	}
+}

@@ -73,6 +73,12 @@ func DefaultConfig() Config {
 type Channel struct {
 	cfg     Config
 	shadows *shadowField
+	// fades are the per-directed-link frame-randomness streams used by
+	// the medium's delivery path (see decision.go); fadeRNG is the
+	// channel-global stream behind the standalone DecideFrame, kept for
+	// analysis tools and the radio-layer statistical tests.
+	fades   fadeField
+	edges   map[edgeKey]FrameEdges
 	fadeRNG *rand.Rand
 	// shadowClampDB and fadeClampDB are the resolved boost bounds (see
 	// Config.ShadowClampSigma / Config.FadeClampDB).
@@ -122,6 +128,8 @@ func NewChannel(cfg Config) (*Channel, error) {
 	return &Channel{
 		cfg:           cfg,
 		shadows:       newShadowField(cfg.ShadowSigmaDB, cfg.ShadowTau, cfg.Seed, shadowClamp),
+		fades:         fadeField{seed: cfg.Seed, links: make(map[uint32]*FadeStream)},
+		edges:         make(map[edgeKey]FrameEdges),
 		fadeRNG:       sim.Stream(cfg.Seed, "fading"),
 		shadowClampDB: shadowClamp,
 		fadeClampDB:   fadeClamp,
@@ -156,8 +164,22 @@ func (c *Channel) CaptureThresholdDB() float64 { return c.cfg.CaptureThresholdDB
 // time now. The MAC uses it for carrier sensing and capture comparison;
 // the per-frame fading sample is applied separately in FramePER.
 func (c *Channel) MeanRxPowerDBm(a, b packet.NodeID, pa, pb geom.Point, now time.Duration) float64 {
-	d := pa.Dist(pb)
-	p := c.cfg.TxPowerDBm - c.lossDB(d) + c.shadows.sample(a, b, now)
+	return c.MeanRxPowerLinkDBm(c.ShadowLink(a, b), pa.Dist(pb), pa, pb, now)
+}
+
+// ShadowLink returns the handle to the unordered pair's shadowing
+// process, for callers that sample the same link at high rates (the MAC
+// caches these per station pair). Simulation-loop only.
+func (c *Channel) ShadowLink(a, b packet.NodeID) *ShadowLink {
+	return (*ShadowLink)(c.shadows.link(a, b))
+}
+
+// MeanRxPowerLinkDBm is MeanRxPowerDBm for a prefetched shadow link and a
+// precomputed distance (d must equal pa.Dist(pb); the MAC's receiver
+// filter has always just computed it). Values are bit-identical to
+// MeanRxPowerDBm's.
+func (c *Channel) MeanRxPowerLinkDBm(l *ShadowLink, d float64, pa, pb geom.Point, now time.Duration) float64 {
+	p := c.cfg.TxPowerDBm - c.lossDB(d) + (*shadowProcess)(l).sample(now)
 	if c.cfg.ObstructionDB != nil {
 		p -= c.cfg.ObstructionDB(pa, pb)
 	}

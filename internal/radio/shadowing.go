@@ -50,15 +50,32 @@ type shadowProcess struct {
 	// makes the maximum shadowing boost finite for Channel.MaxRangeM.
 	clampDB float64
 	rng     *rand.Rand
+	// field backs the AR(1) coefficient memo shared by every process of
+	// one shadow field (nil only in standalone tests that build a
+	// process directly).
+	field *shadowField
 
 	last   time.Duration
 	valDB  float64
 	primed bool
+
+	// Per-process AR(1) coefficient memo: a link whose endpoints beacon
+	// periodically sees the same dt over and over even when no other
+	// link shares it. Zero value (dt 0) never matches a real step.
+	memoDt   time.Duration
+	memoRho  float64
+	memoComp float64
 }
 
 func newShadowProcess(sigmaDB float64, tau time.Duration, rng *rand.Rand, clampDB float64) *shadowProcess {
 	return &shadowProcess{sigmaDB: sigmaDB, tau: tau, rng: rng, clampDB: clampDB}
 }
+
+// ShadowLink is an opaque handle to one unordered station pair's shadowing
+// process, for hot paths that want to skip the field's per-sample map
+// lookup. Obtain one with Channel.ShadowLink; it stays valid for the
+// channel's lifetime and must only be used from the simulation loop.
+type ShadowLink shadowProcess
 
 // sample returns the shadowing value in dB at virtual time now, evolving
 // the AR(1) state forward. Time must not go backwards; the process clamps
@@ -82,8 +99,8 @@ func (p *shadowProcess) sample(now time.Duration) float64 {
 	default:
 		dt := now - p.last
 		p.last = now
-		rho := math.Exp(-float64(dt) / float64(p.tau))
-		p.valDB = rho*p.valDB + math.Sqrt(1-rho*rho)*p.sigmaDB*p.rng.NormFloat64()
+		rho, comp := p.arCoeffs(dt)
+		p.valDB = rho*p.valDB + comp*p.sigmaDB*p.rng.NormFloat64()
 	}
 	v := p.valDB
 	if v > p.clampDB {
@@ -92,6 +109,31 @@ func (p *shadowProcess) sample(now time.Duration) float64 {
 		v = -p.clampDB
 	}
 	return v
+}
+
+// arCoeffs returns the AR(1) step coefficients (rho, sqrt(1-rho²)) for a
+// time gap dt, memoising the last gap seen across the whole field: the
+// candidates of consecutive transmissions in one neighbourhood were
+// typically all last sampled at the same earlier instant, so they share
+// dt and the exp/sqrt pair computes once instead of per link. The memo is
+// exact (keyed on the exact dt), so values are bit-identical to the
+// unmemoised computation.
+func (p *shadowProcess) arCoeffs(dt time.Duration) (rho, comp float64) {
+	if dt == p.memoDt {
+		return p.memoRho, p.memoComp
+	}
+	f := p.field
+	if f != nil && f.memoOK && dt == f.memoDt && p.tau == f.memoTau {
+		p.memoDt, p.memoRho, p.memoComp = dt, f.memoRho, f.memoComp
+		return f.memoRho, f.memoComp
+	}
+	rho = math.Exp(-float64(dt) / float64(p.tau))
+	comp = math.Sqrt(1 - rho*rho)
+	p.memoDt, p.memoRho, p.memoComp = dt, rho, comp
+	if f != nil {
+		f.memoDt, f.memoTau, f.memoRho, f.memoComp, f.memoOK = dt, p.tau, rho, comp, true
+	}
+	return rho, comp
 }
 
 // shadowField manages per-link shadowing processes, lazily created with
@@ -103,6 +145,19 @@ type shadowField struct {
 	seed    int64
 	clampDB float64
 	links   map[linkKey]*shadowProcess
+	// zero is the shared no-op process handed out when sigma is zero.
+	zero shadowProcess
+	// slab and arena amortise per-pair process construction (see
+	// fadeField: one allocation per link adds up at city scale).
+	slab  []shadowProcess
+	arena sim.StreamArena
+
+	// AR(1) coefficient memo; see shadowProcess.arCoeffs.
+	memoDt   time.Duration
+	memoTau  time.Duration
+	memoRho  float64
+	memoComp float64
+	memoOK   bool
 }
 
 func newShadowField(sigmaDB float64, tau time.Duration, seed int64, clampDB float64) *shadowField {
@@ -116,8 +171,14 @@ func newShadowField(sigmaDB float64, tau time.Duration, seed int64, clampDB floa
 }
 
 func (f *shadowField) sample(a, b packet.NodeID, now time.Duration) float64 {
+	return f.link(a, b).sample(now)
+}
+
+// link returns the pair's process, creating it on first use. With sigma
+// zero every pair shares the field's no-op process.
+func (f *shadowField) link(a, b packet.NodeID) *shadowProcess {
 	if f.sigmaDB == 0 {
-		return 0
+		return &f.zero
 	}
 	key := makeLinkKey(a, b)
 	p, ok := f.links[key]
@@ -129,8 +190,19 @@ func (f *shadowField) sample(a, b packet.NodeID, now time.Duration) float64 {
 		name = appendNodeID(name, key.lo())
 		name = append(name, '-')
 		name = appendNodeID(name, key.hi())
-		p = newShadowProcess(f.sigmaDB, f.tau, sim.Stream(f.seed, string(name)), f.clampDB)
+		if len(f.slab) == 0 {
+			f.slab = make([]shadowProcess, 128)
+		}
+		p = &f.slab[0]
+		f.slab = f.slab[1:]
+		*p = shadowProcess{
+			sigmaDB: f.sigmaDB,
+			tau:     f.tau,
+			rng:     f.arena.Stream(f.seed, name),
+			clampDB: f.clampDB,
+			field:   f,
+		}
 		f.links[key] = p
 	}
-	return p.sample(now)
+	return p
 }

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mac"
+	"repro/internal/trace"
+)
+
+// tiledMedium keeps the forced spatial index of indexedMedium and adds
+// the tile-parallel executor on top; the comparison below is therefore
+// tiled-vs-untiled with everything else held fixed.
+func tiledMedium(workers int) mac.MediumConfig {
+	return mac.MediumConfig{MinIndexStations: -1, TileWorkers: workers}
+}
+
+// TestScenarioTiledEquivalence asserts the tiled executor's contract on
+// every scenario family behind the study catalogue: partitioning a round
+// across tiles and workers must reproduce the single-threaded trace byte
+// for byte. Most families run at two workers; the families bracketing
+// the geometry spectrum (single-cell testbed, city-scale grid) also run
+// the degenerate one-worker pool and four workers.
+func TestScenarioTiledEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+
+	families := []struct {
+		name       string
+		allWorkers bool // also run 1 and 4 workers, not just 2
+		run        func(t *testing.T, m mac.MediumConfig) *trace.Collector
+	}{
+		{"testbed", true, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTestbed()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := TestbedRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"highway", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultHighway()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := HighwayRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"corridor", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCorridor()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := CorridorRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"twoway", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTwoWay()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, err := TwoWayRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"download", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultDownload()
+			cfg.FileBlocks = 40
+			cfg.MaxLaps = 2
+			cfg.Medium = m
+			res, err := RunDownload(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Trace
+		}},
+		{"trafficgrid", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultTrafficGrid()
+			cfg.Rounds = 1
+			cfg.Duration = 60 * time.Second
+			cfg.Medium = m
+			col, _, err := TrafficGridRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"stopgo", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultStopGo()
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := StopGoRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"citydemand", false, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCityDemand()
+			cfg.Rounds = 1
+			cfg.Cars = 4
+			cfg.GridRows, cfg.GridCols = 8, 8
+			cfg.DemandScale = 2
+			cfg.Duration = 30 * time.Second
+			cfg.Medium = m
+			col, _, _, err := CityDemandRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+		{"cityscale", true, func(t *testing.T, m mac.MediumConfig) *trace.Collector {
+			cfg := DefaultCityScale()
+			cfg.GridRows, cfg.GridCols = 8, 8
+			cfg.Background = 80
+			cfg.Cars = 6
+			cfg.Duration = 30 * time.Second
+			cfg.Rounds = 1
+			cfg.Medium = m
+			col, _, err := CityScaleRound(cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return col
+		}},
+	}
+
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			single := fam.run(t, indexedMedium)
+			workers := []int{2}
+			if fam.allWorkers {
+				workers = []int{1, 2, 4}
+			}
+			for _, w := range workers {
+				assertSameTrace(t, fmt.Sprintf("%s/workers=%d", fam.name, w),
+					fam.run(t, tiledMedium(w)), single)
+			}
+		})
+	}
+}

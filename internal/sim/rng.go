@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"hash/fnv"
 	"math/rand"
 )
 
@@ -33,17 +32,48 @@ func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }
 // one) never perturbs the randomness seen by the others — scenarios stay
 // comparable across code changes and runs are bit-reproducible.
 func Stream(rootSeed int64, name string) *rand.Rand {
-	h := fnv.New64a()
-	// The hash input mixes the seed bytes with the name so that distinct
-	// (seed, name) pairs map to distinct generator seeds.
-	var buf [8]byte
+	return rand.New(&splitmix64{state: streamState(rootSeed, name)})
+}
+
+// streamState is FNV-1a over the root seed's little-endian bytes followed
+// by the name's bytes — inlined (identical digests to hash/fnv) so stream
+// construction does not allocate a hasher or copy the name.
+func streamState[S string | []byte](rootSeed int64, name S) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
 	s := uint64(rootSeed)
-	for i := range buf {
-		buf[i] = byte(s >> (8 * i))
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(s >> (8 * i)))
+		h *= prime64
 	}
-	h.Write(buf[:])
-	h.Write([]byte(name))
-	return rand.New(&splitmix64{state: h.Sum64()})
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return h
+}
+
+// StreamArena constructs the same generators as Stream while amortising
+// allocation: sources come from chunked slabs and names are hashed as raw
+// bytes, so one new stream costs one generator allocation instead of
+// four. A stream drawn from an arena is value-for-value identical to
+// Stream(rootSeed, string(name)). Owners that create streams at
+// city-scale rates (one per radio link) hold one arena each; the zero
+// value is ready to use. Not safe for concurrent use.
+type StreamArena struct {
+	srcs []splitmix64
+}
+
+// Stream returns the deterministic stream for (rootSeed, name), backed by
+// an arena-owned source.
+func (a *StreamArena) Stream(rootSeed int64, name []byte) *rand.Rand {
+	if len(a.srcs) == 0 {
+		a.srcs = make([]splitmix64, 256)
+	}
+	src := &a.srcs[0]
+	a.srcs = a.srcs[1:]
+	src.state = streamState(rootSeed, name)
+	return rand.New(src)
 }
 
 // SubStream derives a further stream from an existing one by name, e.g. a

@@ -34,14 +34,24 @@ type Entry[ID any] struct {
 // Ref returned by InsertRef and feed position updates through MoveRef.
 type Ref int32
 
-// gridEntry is the stored form of an entry: the public Entry plus its
-// location in the cell table, so MoveRef and RemoveRef are O(1).
-type gridEntry[ID any] struct {
-	e Entry[ID]
+// gridEntry is the bookkeeping side of an entry: its location in the cell
+// table, so MoveRef and RemoveRef are O(1). The entry's payload (ID and
+// position) lives inline in the cell slot — queries then scan contiguous
+// memory instead of chasing a pointer per candidate, which is where most
+// of the query time went at city scale.
+type gridEntry struct {
 	// cell is the owning cell index, or -1 for free slots.
 	cell int32
 	// slot is the entry's index within cells[cell].
 	slot int32
+}
+
+// cellSlot is one entry as stored in its cell: the payload plus the index
+// of its arena entry (so unlink can fix the swapped-in entry's slot).
+type cellSlot[ID any] struct {
+	p   geom.Point
+	id  ID
+	ent int32
 }
 
 // Grid is a uniform spatial hash over a bounding geom.Rect.
@@ -49,10 +59,10 @@ type Grid[ID any] struct {
 	bounds     geom.Rect
 	cellM      float64
 	cols, rows int
-	// cells[c] lists the entry slots stored in cell c.
-	cells [][]int32
-	// entries is the stable entry arena Refs point into.
-	entries []gridEntry[ID]
+	// cells[c] lists the entries stored in cell c, payloads inline.
+	cells [][]cellSlot[ID]
+	// entries is the stable bookkeeping arena Refs point into.
+	entries []gridEntry
 	// free lists recycled entry slots.
 	free  []int32
 	count int
@@ -88,7 +98,7 @@ func (g *Grid[ID]) Reindex(bounds geom.Rect, cellM float64) error {
 			g.cells[i] = g.cells[i][:0]
 		}
 	} else {
-		g.cells = make([][]int32, need)
+		g.cells = make([][]cellSlot[ID], need)
 	}
 	g.bounds, g.cellM, g.cols, g.rows = bounds, cellM, cols, rows
 	g.entries, g.free, g.count = g.entries[:0], g.free[:0], 0
@@ -142,16 +152,12 @@ func (g *Grid[ID]) InsertRef(id ID, p geom.Point) Ref {
 		i = g.free[n-1]
 		g.free = g.free[:n-1]
 	} else {
-		g.entries = append(g.entries, gridEntry[ID]{})
+		g.entries = append(g.entries, gridEntry{})
 		i = int32(len(g.entries) - 1)
 	}
 	c := g.cellAt(p)
-	g.entries[i] = gridEntry[ID]{
-		e:    Entry[ID]{ID: id, P: p},
-		cell: c,
-		slot: int32(len(g.cells[c])),
-	}
-	g.cells[c] = append(g.cells[c], i)
+	g.entries[i] = gridEntry{cell: c, slot: int32(len(g.cells[c]))}
+	g.cells[c] = append(g.cells[c], cellSlot[ID]{p: p, id: id, ent: i})
 	g.count++
 	return Ref(i)
 }
@@ -163,40 +169,46 @@ func (g *Grid[ID]) InsertRef(id ID, p geom.Point) Ref {
 func (g *Grid[ID]) MoveRef(r Ref, p geom.Point) {
 	ent := &g.entries[r]
 	c := g.cellAt(p)
-	ent.e.P = p
 	if c == ent.cell {
+		g.cells[c][ent.slot].p = p
 		return
 	}
-	g.unlink(int32(r), ent)
+	moved := g.cells[ent.cell][ent.slot]
+	moved.p = p
+	g.unlink(ent)
 	ent.cell, ent.slot = c, int32(len(g.cells[c]))
-	g.cells[c] = append(g.cells[c], int32(r))
+	g.cells[c] = append(g.cells[c], moved)
 }
 
 // RemoveRef deletes one entry; the Ref (and any Ref obtained for the same
 // entry) must not be used afterwards.
 func (g *Grid[ID]) RemoveRef(r Ref) {
 	ent := &g.entries[r]
-	g.unlink(int32(r), ent)
+	g.unlink(ent)
 	ent.cell = -1
 	g.free = append(g.free, int32(r))
 	g.count--
 }
 
-// unlink removes entry i from its cell's slot list, swapping the cell's
-// last entry into the vacated slot.
-func (g *Grid[ID]) unlink(i int32, ent *gridEntry[ID]) {
+// unlink removes ent's payload from its cell's slot list, swapping the
+// cell's last slot into the vacated one.
+func (g *Grid[ID]) unlink(ent *gridEntry) {
 	list := g.cells[ent.cell]
 	last := int32(len(list) - 1)
 	if ent.slot != last {
 		moved := list[last]
 		list[ent.slot] = moved
-		g.entries[moved].slot = ent.slot
+		g.entries[moved.ent].slot = ent.slot
 	}
 	g.cells[ent.cell] = list[:last]
 }
 
 // At returns the entry behind a live Ref.
-func (g *Grid[ID]) At(r Ref) Entry[ID] { return g.entries[r].e }
+func (g *Grid[ID]) At(r Ref) Entry[ID] {
+	ent := &g.entries[r]
+	s := g.cells[ent.cell][ent.slot]
+	return Entry[ID]{ID: s.id, P: s.p}
+}
 
 // Near visits every indexed point within radiusM of p, in deterministic
 // cell-scan order. The visitor returns false to stop early. An infinite
@@ -216,11 +228,11 @@ func (g *Grid[ID]) Near(p geom.Point, radiusM float64, visit func(Entry[ID]) boo
 	}
 	for cy := minCY; cy <= maxCY; cy++ {
 		for cx := minCX; cx <= maxCX; cx++ {
-			for _, i := range g.cells[cy*g.cols+cx] {
-				e := g.entries[i].e
-				dx, dy := e.P.X-p.X, e.P.Y-p.Y
+			for i := range g.cells[cy*g.cols+cx] {
+				s := &g.cells[cy*g.cols+cx][i]
+				dx, dy := s.p.X-p.X, s.p.Y-p.Y
 				if dx*dx+dy*dy <= r2 {
-					if !visit(e) {
+					if !visit(Entry[ID]{ID: s.id, P: s.p}) {
 						return
 					}
 				}
@@ -250,11 +262,11 @@ func (g *Grid[ID]) IDsWithin(p geom.Point, radiusM float64, dst []ID) []ID {
 	for cy := minCY; cy <= maxCY; cy++ {
 		row := g.cells[cy*g.cols+minCX : cy*g.cols+maxCX+1]
 		for _, cell := range row {
-			for _, i := range cell {
-				e := &g.entries[i]
-				dx, dy := e.e.P.X-p.X, e.e.P.Y-p.Y
+			for i := range cell {
+				s := &cell[i]
+				dx, dy := s.p.X-p.X, s.p.Y-p.Y
 				if dx*dx+dy*dy <= r2 {
-					dst = append(dst, e.e.ID)
+					dst = append(dst, s.id)
 				}
 			}
 		}

@@ -1,0 +1,157 @@
+package tile
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs small tasks on dedicated worker goroutines, one single-
+// producer/single-consumer ring per worker. It is built for the tiled
+// executor's workload: resolution tasks a few microseconds long arriving
+// every few microseconds, where handing work through a channel would cost
+// as much as the work itself. Submission never blocks — TrySubmit reports
+// false on a full ring and the caller runs the task inline (the executor
+// counts that as a lookahead stall).
+//
+// Workers spin briefly between tasks so a steady stream stays on the hot
+// path, then park on a wake channel. On a single-CPU process the spin
+// budget is zero: spinning could only steal time from the producer.
+type Pool[T any] struct {
+	workers []*ringWorker[T]
+	run     func(worker int, task T)
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	spin    int
+}
+
+type ringWorker[T any] struct {
+	ring []T
+	mask uint64
+	// head is the consumer cursor, tail the producer cursor; both only
+	// ever increase. The slot write happens before the tail store, and
+	// the consumer's slot read before its head store, so ring slots are
+	// handed over race-free through the cursor atomics.
+	head     atomic.Uint64
+	tail     atomic.Uint64
+	sleeping atomic.Bool
+	wake     chan struct{}
+}
+
+// spinBudget is how many empty polls a worker makes before parking;
+// at a few ns per poll it covers the inter-task gaps of a busy
+// simulation without burning a core for long when the load stops.
+const spinBudget = 4096
+
+// NewPool starts `workers` goroutines, each with a ring of at least
+// ringCap slots (rounded up to a power of two), running `run` for every
+// submitted task.
+func NewPool[T any](workers, ringCap int, run func(worker int, task T)) *Pool[T] {
+	if workers < 1 {
+		workers = 1
+	}
+	cap := uint64(1)
+	for cap < uint64(ringCap) {
+		cap <<= 1
+	}
+	p := &Pool[T]{
+		run:  run,
+		stop: make(chan struct{}),
+		spin: spinBudget,
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		p.spin = 0
+	}
+	for i := 0; i < workers; i++ {
+		p.workers = append(p.workers, &ringWorker[T]{
+			ring: make([]T, cap),
+			mask: cap - 1,
+			wake: make(chan struct{}, 1),
+		})
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.loop(i)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool[T]) Workers() int { return len(p.workers) }
+
+// TrySubmit hands a task to the given worker (taken modulo the pool
+// size). It returns false — and leaves the task with the caller — when
+// that worker's ring is full. Single producer: only one goroutine may
+// submit to a pool.
+func (p *Pool[T]) TrySubmit(worker int, task T) bool {
+	w := p.workers[worker%len(p.workers)]
+	tail := w.tail.Load()
+	if tail-w.head.Load() >= uint64(len(w.ring)) {
+		return false
+	}
+	w.ring[tail&w.mask] = task
+	w.tail.Store(tail + 1)
+	if w.sleeping.Load() {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// Close stops the workers and waits for them to exit. Tasks still queued
+// are dropped — the executor only closes once every task it still needs
+// has been claimed or completed. Close is idempotent per pool user: the
+// medium guards it.
+func (p *Pool[T]) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+func (p *Pool[T]) loop(i int) {
+	defer p.wg.Done()
+	w := p.workers[i]
+	var zero T
+	spins := 0
+	for {
+		head := w.head.Load()
+		if head != w.tail.Load() {
+			slot := head & w.mask
+			task := w.ring[slot]
+			w.ring[slot] = zero
+			w.head.Store(head + 1)
+			p.run(i, task)
+			spins = 0
+			continue
+		}
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		spins++
+		if spins < p.spin {
+			if spins&63 == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		w.sleeping.Store(true)
+		if w.head.Load() != w.tail.Load() {
+			// A task raced in between the last poll and the sleep flag;
+			// the producer may have seen sleeping=false and skipped the
+			// wake, so re-poll before parking.
+			w.sleeping.Store(false)
+			spins = 0
+			continue
+		}
+		select {
+		case <-w.wake:
+			w.sleeping.Store(false)
+			spins = 0
+		case <-p.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package tile supplies the building blocks of the medium's conservative-
+// parallel executor: a fixed spatial partition of the simulation world
+// (Map), the conservative synchronisation window arithmetic (Lookahead),
+// and a low-latency worker pool (Pool) sized for the microsecond-scale
+// resolution tasks the executor produces.
+package tile
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// Map partitions a rectangular world into a grid of square tiles. Tiles
+// are the unit of work routing: a transmission's resolution is handled by
+// the worker owning its source's tile, and a transmission whose receivers
+// span more than one tile is a cross-tile event. The map is built once,
+// from the station population's padded bounding box; stations that later
+// drift outside are clamped to the nearest border tile, which only affects
+// routing and accounting, never results.
+type Map struct {
+	bounds     geom.Rect
+	edgeM      float64
+	cols, rows int
+}
+
+// NewMap builds a tile map over bounds with square tiles of the given
+// edge. Degenerate bounds still produce a single tile.
+func NewMap(bounds geom.Rect, edgeM float64) (*Map, error) {
+	if edgeM <= 0 || math.IsNaN(edgeM) {
+		return nil, fmt.Errorf("tile: non-positive tile edge %v", edgeM)
+	}
+	if bounds.MaxX < bounds.MinX || bounds.MaxY < bounds.MinY {
+		return nil, fmt.Errorf("tile: inverted bounds %+v", bounds)
+	}
+	cols := int(math.Ceil((bounds.MaxX - bounds.MinX) / edgeM))
+	rows := int(math.Ceil((bounds.MaxY - bounds.MinY) / edgeM))
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return &Map{bounds: bounds, edgeM: edgeM, cols: cols, rows: rows}, nil
+}
+
+// Tiles returns the number of tiles in the partition.
+func (m *Map) Tiles() int { return m.cols * m.rows }
+
+// EdgeM returns the tile edge in metres.
+func (m *Map) EdgeM() float64 { return m.edgeM }
+
+// Locate returns the tile index of a position, clamping positions outside
+// the bounds to the nearest border tile. Safe for concurrent use: the map
+// is immutable after construction.
+func (m *Map) Locate(p geom.Point) int {
+	cx := int((p.X - m.bounds.MinX) / m.edgeM)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= m.cols {
+		cx = m.cols - 1
+	}
+	cy := int((p.Y - m.bounds.MinY) / m.edgeM)
+	if cy < 0 {
+		cy = 0
+	} else if cy >= m.rows {
+		cy = m.rows - 1
+	}
+	return cy*m.cols + cx
+}
+
+// Lookahead returns the conservative synchronisation window of a tiled
+// execution: how far one tile's work may run ahead of its neighbours
+// without risking a missed interaction. A frame sourced in a tile can only
+// involve stations beyond the tile margin (the tile edge minus the
+// reception horizon) after they cover that margin at the speed bound, and
+// never resolves faster than the shortest frame airtime — the window is
+// the larger of the two. A non-positive margin or speed bound degenerates
+// to the airtime floor alone.
+func Lookahead(marginM, maxSpeedMPS float64, minAirtime time.Duration) time.Duration {
+	la := minAirtime
+	if marginM > 0 && maxSpeedMPS > 0 {
+		if cross := time.Duration(marginM / maxSpeedMPS * float64(time.Second)); cross > la {
+			la = cross
+		}
+	}
+	return la
+}

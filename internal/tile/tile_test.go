@@ -1,0 +1,209 @@
+package tile
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func TestNewMapValidation(t *testing.T) {
+	b := geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	if _, err := NewMap(b, 0); err == nil {
+		t.Error("zero edge accepted")
+	}
+	if _, err := NewMap(b, -5); err == nil {
+		t.Error("negative edge accepted")
+	}
+	if _, err := NewMap(geom.Rect{MinX: 10, MinY: 0, MaxX: 0, MaxY: 10}, 10); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+	// Degenerate (point) bounds still give one tile.
+	m, err := NewMap(geom.Rect{MinX: 5, MinY: 5, MaxX: 5, MaxY: 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tiles() != 1 {
+		t.Errorf("degenerate bounds: %d tiles, want 1", m.Tiles())
+	}
+}
+
+func TestMapTileCountAndEdge(t *testing.T) {
+	m, err := NewMap(geom.Rect{MinX: 0, MinY: 0, MaxX: 1000, MaxY: 500}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Tiles(); got != 4*2 {
+		t.Errorf("Tiles() = %d, want 8", got)
+	}
+	if m.EdgeM() != 250 {
+		t.Errorf("EdgeM() = %v, want 250", m.EdgeM())
+	}
+	// A fractional fit rounds the grid up so the bounds stay covered.
+	m2, err := NewMap(geom.Rect{MinX: 0, MinY: 0, MaxX: 1001, MaxY: 499}, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Tiles(); got != 5*2 {
+		t.Errorf("Tiles() = %d, want 10", got)
+	}
+}
+
+func TestLocatePartitionsAndClamps(t *testing.T) {
+	m, err := NewMap(geom.Rect{MinX: 0, MinY: 0, MaxX: 300, MaxY: 300}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    geom.Point
+		want int
+	}{
+		{geom.Point{X: 50, Y: 50}, 0},
+		{geom.Point{X: 150, Y: 50}, 1},
+		{geom.Point{X: 250, Y: 50}, 2},
+		{geom.Point{X: 50, Y: 150}, 3},
+		{geom.Point{X: 250, Y: 250}, 8},
+		// Outside positions clamp to the nearest border tile.
+		{geom.Point{X: -1000, Y: -1000}, 0},
+		{geom.Point{X: 1e9, Y: 150}, 5},
+		{geom.Point{X: 150, Y: 1e9}, 7},
+		{geom.Point{X: 1e9, Y: 1e9}, 8},
+	}
+	for _, c := range cases {
+		if got := m.Locate(c.p); got != c.want {
+			t.Errorf("Locate(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Every tile index Locate returns is in range.
+	for x := -50.0; x <= 350; x += 25 {
+		for y := -50.0; y <= 350; y += 25 {
+			if id := m.Locate(geom.Point{X: x, Y: y}); id < 0 || id >= m.Tiles() {
+				t.Fatalf("Locate(%v,%v) = %d out of [0,%d)", x, y, id, m.Tiles())
+			}
+		}
+	}
+}
+
+func TestLookahead(t *testing.T) {
+	air := 192 * time.Microsecond
+	// Margin dominates: 900 m at 60 m/s = 15 s.
+	if got, want := Lookahead(900, 60, air), 15*time.Second; got != want {
+		t.Errorf("Lookahead(900,60) = %v, want %v", got, want)
+	}
+	// Airtime floor dominates a tiny margin.
+	if got := Lookahead(0.001, 60, air); got != air {
+		t.Errorf("Lookahead(tiny margin) = %v, want airtime %v", got, air)
+	}
+	// Degenerate margin or speed falls back to the airtime floor alone.
+	if got := Lookahead(-10, 60, air); got != air {
+		t.Errorf("Lookahead(negative margin) = %v, want %v", got, air)
+	}
+	if got := Lookahead(900, 0, air); got != air {
+		t.Errorf("Lookahead(zero speed) = %v, want %v", got, air)
+	}
+}
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	const n = 1000
+	var sum atomic.Int64
+	p := NewPool(3, 64, func(_ int, v int64) { sum.Add(v) })
+	defer p.Close()
+	var want int64
+	for i := int64(1); i <= n; i++ {
+		want += i
+		for !p.TrySubmit(int(i)%3, i) {
+			// Ring full: wait for the worker to drain.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sum.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("sum = %d, want %d", sum.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolWorkerRouting(t *testing.T) {
+	// Tasks land on the worker they were addressed to (modulo size).
+	var hits [2]atomic.Int64
+	p := NewPool(2, 16, func(w int, _ struct{}) { hits[w].Add(1) })
+	defer p.Close()
+	for i := 0; i < 8; i++ {
+		for !p.TrySubmit(0, struct{}{}) {
+			time.Sleep(time.Millisecond)
+		}
+		for !p.TrySubmit(3, struct{}{}) { // 3 % 2 == worker 1
+			time.Sleep(time.Millisecond)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for hits[0].Load() != 8 || hits[1].Load() != 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hits = %d,%d, want 8,8", hits[0].Load(), hits[1].Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPoolTrySubmitReportsFullRing(t *testing.T) {
+	// A worker blocked on its first task leaves the ring to fill up;
+	// TrySubmit must refuse the overflow rather than block or drop.
+	block := make(chan struct{})
+	started := make(chan struct{}, 1)
+	p := NewPool(1, 4, func(_ int, _ int) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-block
+	})
+	defer p.Close()
+	if !p.TrySubmit(0, 0) {
+		t.Fatal("first submit refused")
+	}
+	<-started // the worker holds task 0; the ring is empty again
+	accepted := 0
+	for i := 0; i < 64; i++ {
+		if p.TrySubmit(0, i) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Errorf("accepted %d tasks on a blocked 4-slot ring, want 4", accepted)
+	}
+	close(block)
+}
+
+func TestPoolMinimumOneWorker(t *testing.T) {
+	done := make(chan struct{})
+	p := NewPool(0, 1, func(_ int, _ struct{}) { close(done) })
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", p.Workers())
+	}
+	if !p.TrySubmit(5, struct{}{}) {
+		t.Fatal("submit refused")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task never ran")
+	}
+}
+
+func TestPoolCloseTerminates(t *testing.T) {
+	p := NewPool(4, 16, func(_ int, _ struct{}) {})
+	finished := make(chan struct{})
+	go func() {
+		p.Close()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not terminate the workers")
+	}
+}

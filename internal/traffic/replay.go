@@ -77,10 +77,8 @@ func (r *Replay) Model(id int) (mobility.Model, error) {
 		return nil, fmt.Errorf("traffic: no samples for vehicle %d", id)
 	}
 	net := r.net
-	cur := 0
+	var cur posCursor
 	return mobility.Func(func(now time.Duration) geom.Point {
-		var p geom.Point
-		p, cur = samplePosCursor(net, track, now, cur)
-		return p
+		return cur.at(net, track, now)
 	}), nil
 }

@@ -790,11 +790,12 @@ func (s *Simulation) Attach(eng *sim.Engine, horizon time.Duration) {
 func (s *Simulation) Model(id int) mobility.Model {
 	veh := s.vehs[id]
 	net := s.net
-	cur := 0
+	var cur posCursor
 	return mobility.Func(func(now time.Duration) geom.Point {
-		var p geom.Point
-		p, cur = samplePosCursor(net, veh.samples, now, cur)
-		return p
+		// veh.samples re-reads each call: live mode appends as the
+		// engine steps. The cursor's cached window never outlives the
+		// samples it was built from (appends only extend the track).
+		return cur.at(net, veh.samples, now)
 	})
 }
 
@@ -803,6 +804,73 @@ func (s *Simulation) Model(id int) mobility.Model {
 func samplePos(net *Network, samples []sample, now time.Duration) geom.Point {
 	p, _ := samplePosCursor(net, samples, now, 0)
 	return p
+}
+
+// posCursor carries a track evaluator's resumable state: the sample index
+// boundary samplePosCursor maintains, plus a fast-path cache of the
+// governing sample and the polyline segment its extrapolation currently
+// runs along. Queries landing in the same (sample, segment) window — the
+// overwhelmingly common case, since the radio layer asks for positions
+// orders of magnitude more often than tracks change segment — then touch
+// only this struct. The cached evaluation replays the exact float
+// expressions of samplePosCursor + Link.LanePoint on cached copies of the
+// same inputs, so its results are bit-identical to the slow path's.
+type posCursor struct {
+	idx int
+	// Governing-sample window [smpAt, nextAt).
+	ok     bool
+	smpAt  time.Duration
+	nextAt time.Duration
+	smpArc float64
+	smpV   float64
+	// Containing segment and lane offset.
+	seg geom.Segment
+	off float64
+}
+
+// at evaluates the track at now, resuming from (and updating) the cursor.
+func (c *posCursor) at(net *Network, samples []sample, now time.Duration) geom.Point {
+	if c.ok && now >= c.smpAt && now < c.nextAt {
+		arc := c.smpArc + c.smpV*(now-c.smpAt).Seconds()
+		if arc >= c.seg.CumLo && arc < c.seg.CumHi {
+			t := (arc - c.seg.CumLo) / (c.seg.CumHi - c.seg.CumLo)
+			p := geom.Lerp(c.seg.Lo, c.seg.Hi, t)
+			right := geom.Vec{DX: c.seg.Dir.DY, DY: -c.seg.Dir.DX}
+			return p.Add(right.Scale(c.off))
+		}
+	}
+	p, idx := samplePosCursor(net, samples, now, c.idx)
+	c.idx = idx
+	c.refill(net, samples, now, idx)
+	return p
+}
+
+// refill rebuilds the fast-path cache after a slow-path evaluation. The
+// cache only arms when the fast path can reproduce the slow path exactly:
+// a real (non-clamped) governing sample with a known next sample, and an
+// arc strictly inside a non-degenerate segment. A wrapped loop arc never
+// arms (Mod-reduced arcs are only exact while 0 <= arc < length, which
+// the CumLo/CumHi window already enforces for the unwrapped case).
+func (c *posCursor) refill(net *Network, samples []sample, now time.Duration, idx int) {
+	c.ok = false
+	if idx == 0 || idx >= len(samples) {
+		return
+	}
+	smp := samples[idx-1]
+	arc := smp.arc + smp.v*(now-smp.at).Seconds()
+	if arc < 0 {
+		return
+	}
+	l := net.Links[smp.link]
+	seg, ok := l.Centre.SegmentAt(arc)
+	if !ok {
+		return
+	}
+	c.ok = true
+	c.smpAt, c.nextAt = smp.at, samples[idx].at
+	c.smpArc, c.smpV = smp.arc, smp.v
+	c.seg = seg
+	c.off = (float64(smp.lane) + 0.5) * l.LaneWidthM
 }
 
 // samplePosCursor is samplePos with a resumable cursor: hint is the index
