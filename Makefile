@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume sweepd-smoke metrics-smoke
+.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume crash-resume sweepd-smoke metrics-smoke
 
 all: build test
 
@@ -50,6 +50,12 @@ bench-compare:
 # byte (timings.json provenance sidecar excluded).
 sweep-resume:
 	sh scripts/ci_sweep_resume.sh
+
+# Crash-safety gate: SIGKILL a sweep mid-run (parked by an armed
+# faultpoint), then resume against the same store and require the
+# outputs byte-identical to an uninterrupted baseline.
+crash-resume:
+	sh scripts/ci_crash_resume.sh
 
 # Results-API smoke: sweep, start sweepd, check catalogue, typed
 # content types, the ETag/If-None-Match 304 contract, and the

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultpoint"
+	"repro/internal/harness"
+)
+
+// TestFaultedStoreByteIdentity is the recovery-path identity contract:
+// armed store faults (a torn write, an injected load failure) must
+// never change what a sweep produces — only which path produced it.
+// The faulted run degrades to recomputation where the store fails and
+// still emits every output byte-identically to a clean run.
+func TestFaultedStoreByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation rounds in -short mode")
+	}
+	t.Cleanup(faultpoint.DisarmAll)
+
+	run := func(faults string) (map[string]string, string) {
+		dir := t.TempDir()
+		runner, err := harness.NewRunner(harness.Options{
+			Rounds: 2, Seed: 7, OutDir: dir,
+			ResultStore: t.TempDir(),
+			FaultPoints: faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := runner.Run([]string{"highway"}); err != nil {
+			t.Fatal(err)
+		}
+		manifest, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readSweepOutputs(t, dir), string(manifest)
+	}
+
+	clean, cleanManifest := run("")
+
+	// The faulted run: the first store load errors out (recompute), the
+	// second save tears (entry unpublished, temp abandoned). Both are
+	// recovery paths; neither may touch simulation bytes.
+	faulted, faultedManifest := run(
+		"harness.store.load=error:injected load failure@hit=1," +
+			"harness.store.save.write=short:20@hit=2")
+	if faultedManifest != cleanManifest {
+		t.Error("manifest.json differs between clean and store-faulted runs")
+	}
+	if len(clean) == 0 {
+		t.Fatal("no outputs")
+	}
+	for name, want := range clean {
+		if got, ok := faulted[name]; !ok {
+			t.Errorf("%s missing from faulted run", name)
+		} else if got != want {
+			t.Errorf("%s differs between clean and faulted runs", name)
+		}
+	}
+}

@@ -17,7 +17,8 @@
 //	/outputs/<file>  one study output, content type from its recorded
 //	                 kind (raw/table: text/plain, plot: image/svg+xml)
 //	/bench/          the committed BENCH_<n>.json perf snapshots
-//	/healthz         liveness
+//	/healthz         liveness (plain text)
+//	/api/healthz     liveness + manifest state + uptime (JSON)
 //	/debug/pprof/    live profiling (only with -debug)
 //
 // Every output's ETag is the content hash the harness recorded in the
@@ -26,17 +27,29 @@
 // sweepd can keep serving while experiment processes shard new work
 // into the same directory behind it.
 //
+// The process is hardened for unattended serving: the http.Server
+// carries read/write/idle timeouts, a panic in any handler answers 500
+// (counted in sweepd_panics_total) instead of killing the process, and
+// SIGTERM/SIGINT drain in-flight requests for up to -drain before the
+// process exits cleanly.
+//
 // Usage:
 //
 //	sweepd [-addr :8080] [-out results] [-result-store dir]
-//	       [-bench-dir .] [-debug] (plus the shared sweep flags)
+//	       [-bench-dir .] [-drain 10s] [-debug] (plus the shared sweep flags)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // mounted under /debug/pprof/ only with -debug
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -52,6 +65,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
 		benchDir = flag.String("bench-dir", ".", "directory of the committed BENCH_<n>.json snapshots")
 		debug    = flag.Bool("debug", false, "expose net/http/pprof under /debug/pprof/")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline: on SIGTERM/SIGINT, in-flight requests get this long to finish")
 	)
 	flag.Parse()
 
@@ -76,6 +90,43 @@ func main() {
 		// handlers answer 503 until one appears.
 		log.Printf("%v", err)
 	}
-	log.Printf("serving %s on %s", opts.OutDir, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.routes()))
+	// A configured server, not bare ListenAndServe: header/read/write/
+	// idle timeouts bound what one slow or malicious client can hold, and
+	// signal-driven Shutdown drains in-flight requests instead of
+	// dropping them mid-body when the process is told to go.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %s on %s", opts.OutDir, *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		// The listener died on its own (port taken, socket error).
+		log.Fatal(err)
+	case sig := <-sigc:
+		log.Printf("%v: draining for up to %v", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Past the drain deadline: close what remains and report it.
+			srv.Close()
+			log.Fatalf("drain deadline exceeded: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Print("shutdown complete")
+	}
 }

@@ -19,6 +19,11 @@ import (
 var mRequests = metrics.NewLabelledCounter("sweepd_http_requests_total",
 	"HTTP requests served, by endpoint group", "route", "all")
 
+// mPanics counts handler panics recovered by the 500 middleware — on a
+// healthy service this stays at zero, so any movement is a page.
+var mPanics = metrics.NewCounter("sweepd_panics_total",
+	"HTTP handler panics recovered and answered with 500")
+
 // PrometheusContentType is the exposition-format content type
 // /api/metrics serves by default.
 const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"

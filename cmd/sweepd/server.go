@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +32,7 @@ type server struct {
 	benchDir string
 	store    *harness.ResultStore // nil: no store endpoints
 	debug    bool                 // mount net/http/pprof under /debug/pprof/
+	started  time.Time            // process start, for /api/healthz uptime
 
 	mu          sync.Mutex
 	manifest    *harness.Manifest
@@ -48,7 +51,7 @@ type outputInfo struct {
 }
 
 func newServer(outDir, benchDir string, store *harness.ResultStore, debug bool) *server {
-	return &server{outDir: outDir, benchDir: benchDir, store: store, debug: debug}
+	return &server{outDir: outDir, benchDir: benchDir, store: store, debug: debug, started: time.Now()}
 }
 
 // routes builds the handler tree. Paths are matched manually (prefix
@@ -59,6 +62,7 @@ func (s *server) routes() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/api/healthz", s.handleHealthz)
 	mux.HandleFunc("/api/catalogue", s.handleCatalogue)
 	mux.HandleFunc("/api/manifest", s.handleManifest)
 	mux.HandleFunc("/api/store", s.handleStore)
@@ -73,7 +77,7 @@ func (s *server) routes() http.Handler {
 		// without letting profiling URLs leak into production serving.
 		mux.Handle("/debug/pprof/", http.DefaultServeMux)
 	}
-	return s.readOnly(mux)
+	return s.recoverPanics(s.readOnly(mux))
 }
 
 // routeList names every mounted route pattern, for the index document
@@ -81,6 +85,7 @@ func (s *server) routes() http.Handler {
 func (s *server) routeList() []string {
 	routes := []string{
 		"/healthz",
+		"/api/healthz",
 		"/api/catalogue",
 		"/api/manifest",
 		"/api/store",
@@ -100,8 +105,8 @@ func (s *server) routeList() []string {
 // with Allow) from a path that does not exist at all (404).
 func (s *server) knownRoute(path string) bool {
 	switch path {
-	case "/", "/healthz", "/api/catalogue", "/api/manifest", "/api/store",
-		"/api/metrics", "/api/progress":
+	case "/", "/healthz", "/api/healthz", "/api/catalogue", "/api/manifest",
+		"/api/store", "/api/metrics", "/api/progress":
 		return true
 	}
 	if strings.HasPrefix(path, "/outputs/") || strings.HasPrefix(path, "/bench/") {
@@ -127,6 +132,48 @@ func (s *server) readOnly(next http.Handler) http.Handler {
 			return
 		}
 		next.ServeHTTP(w, r)
+	})
+}
+
+// recoverPanics is the outermost middleware: a panicking handler
+// answers 500 (when nothing has been written yet) instead of tearing
+// down the connection — and never the process; net/http would contain
+// the panic to one connection, but an operator still wants the count
+// and the stack. http.ErrAbortHandler keeps its meaning.
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			mPanics.Inc()
+			log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleHealthz is the liveness/readiness probe: always 200 while the
+// process serves, with the manifest state and uptime as the payload —
+// a load balancer keys on the status, an operator on the body.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	loaded := s.refresh() == nil
+	s.mu.Lock()
+	experiments := 0
+	if s.manifest != nil {
+		experiments = len(s.manifest.Experiments)
+	}
+	s.mu.Unlock()
+	s.serveJSON(w, r, map[string]any{
+		"status":          "ok",
+		"manifest_loaded": loaded,
+		"experiments":     experiments,
+		"uptime_seconds":  int64(time.Since(s.started).Seconds()),
 	})
 }
 

@@ -1,13 +1,18 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/trace"
@@ -44,6 +49,11 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.Metrics {
 		metrics.SetEnabled(true)
 	}
+	if opts.FaultPoints != "" {
+		if err := faultpoint.ArmSpecs(opts.FaultPoints); err != nil {
+			return nil, err
+		}
+	}
 	if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: creating %s: %w", opts.OutDir, err)
 	}
@@ -54,7 +64,7 @@ func NewRunner(opts Options) (*Runner, error) {
 		}
 	}
 	pool := NewPool(opts.Workers)
-	return &Runner{
+	r := &Runner{
 		opts:        opts,
 		pool:        pool,
 		store:       store,
@@ -70,7 +80,13 @@ func NewRunner(opts Options) (*Runner, error) {
 			Workers:     pool.Workers(),
 			CodeDigest:  opts.CodeDigest,
 		},
-	}, nil
+	}
+	// One unmissable line per faulted run, so nobody ever debugs an
+	// injected failure as a real one.
+	if armed := faultpoint.Armed(); len(armed) > 0 {
+		r.logf("fault injection armed: %v", armed)
+	}
+	return r, nil
 }
 
 // Workers reports the effective pool width.
@@ -103,21 +119,26 @@ func (r *Runner) Run(names []string) error {
 		seen[e] = true
 		exps = append(exps, e)
 	}
+	// Experiments are isolated from each other the way units are from
+	// units: a failing experiment is recorded (manifest Error, timings
+	// failure list) and the sweep moves on, so one bad study never
+	// discards its siblings' multi-hour results. The aggregate error —
+	// listing every failed experiment — makes the process exit nonzero.
+	var failures []error
 	for _, e := range exps {
 		if err := r.runOne(e); err != nil {
-			// Record the failure before bailing so partial runs stay
-			// diagnosable from the manifest alone.
-			if werr := r.WriteManifest(); werr != nil {
-				r.logf("manifest: %v", werr)
-			}
-			return fmt.Errorf("%s: %w", e.Name, err)
+			failures = append(failures, fmt.Errorf("%s: %w", e.Name, err))
+			r.logf("%s failed: %v (continuing with remaining experiments)", e.Name, err)
 		}
 	}
 	if err := r.WriteManifest(); err != nil {
 		return err
 	}
 	r.logStoreSummary()
-	return r.writeMetrics()
+	if err := r.writeMetrics(); err != nil {
+		return err
+	}
+	return errors.Join(failures...)
 }
 
 func (r *Runner) runOne(e *Experiment) error {
@@ -130,12 +151,16 @@ func (r *Runner) runOne(e *Experiment) error {
 	r.manifest.Experiments = append(r.manifest.Experiments, rec)
 	tim := &ExperimentTiming{Name: e.Name}
 	r.timings.Experiments = append(r.timings.Experiments, tim)
-	ctx := &Context{runner: r, rec: rec}
+	ctx := &Context{runner: r, rec: rec, tim: tim}
 	start := time.Now()
 	err := e.Run(ctx)
 	tim.WallMS = time.Since(start).Milliseconds()
 	tim.UnitsComputed = int(ctx.computed.Load())
 	tim.UnitsCached = int(ctx.cached.Load())
+	// Failure and watchdog lists accumulate in pool-completion order;
+	// sort them so the sidecar reads the same at any worker count.
+	sort.Slice(tim.Failed, func(i, j int) bool { return tim.Failed[i].Unit < tim.Failed[j].Unit })
+	sort.Strings(tim.Hung)
 	// The experiment is done with its results: return every registered
 	// round collector to the scenario pool so the next experiment's
 	// rounds reuse the grown record buffers instead of allocating anew.
@@ -179,6 +204,11 @@ type Unit struct {
 type Context struct {
 	runner *Runner
 	rec    *ExperimentRecord
+	// tim is the experiment's timings-sidecar record; retry, failure and
+	// watchdog provenance accumulates there under mu. Nil when the
+	// Context is built outside runOne (direct-construction tests).
+	tim *ExperimentTiming
+	mu  sync.Mutex
 	// computed counts units this experiment simulated; cached counts
 	// units served from the result store. Units run concurrently.
 	computed atomic.Int64
@@ -231,9 +261,28 @@ func (c *Context) Logf(format string, args ...any) {
 	c.runner.logf("%s: "+format, append([]any{c.rec.Name}, args...)...)
 }
 
+// fpUnit is the harness's own injection site, fired with the unit label
+// (`scenario/point round N`) as key: a key-armed spec makes exactly that
+// unit fail, panic or stall, at any worker count, and a hit-armed sleep
+// parks the n-th unit so a crash-injection script can SIGKILL the sweep
+// at a known point.
+var fpUnit = faultpoint.New("harness.unit")
+
+// unitRetryBackoff spaces the single retry of a failed unit — long
+// enough for a transient cause (page-cache pressure, a racing writer)
+// to clear, short enough to be invisible in a sweep.
+var unitRetryBackoff = 100 * time.Millisecond
+
 // RunUnits executes the units on the shared pool and records the
 // decomposition in the manifest. Results must be communicated by each
 // unit writing to its own slot in caller-owned storage.
+//
+// Units are isolated: a panicking or failing unit is retried once with
+// backoff, and a second failure fails that unit alone — its siblings
+// run to completion and persist to the result store, the failure is
+// recorded (with its stack, for panics) in timings.json, and the
+// deterministic aggregate error carries the lowest-index failure so the
+// manifest reads the same at any worker count.
 func (c *Context) RunUnits(units []Unit) error {
 	for _, u := range units {
 		c.recordPoint(u.Scenario, u.Point)
@@ -243,20 +292,141 @@ func (c *Context) RunUnits(units []Unit) error {
 	if metrics.Enabled() {
 		mUnitsTotal.Add(uint64(len(units)))
 	}
-	return c.runner.pool.Do(len(units), func(i int) error {
+	errs := c.runner.pool.DoAll(len(units), func(i int) error {
 		u := units[i]
+		label := fmt.Sprintf("%s/%s round %d", u.Scenario, u.Point, u.Round)
 		start := time.Now()
-		err := u.Run()
+		err := c.runUnit(label, u)
 		c.runner.unitsDone.Add(1)
 		if metrics.Enabled() {
 			mUnitWall.ObserveDuration(time.Since(start))
 			mUnitsDone.Inc()
 		}
 		if err != nil {
-			return fmt.Errorf("%s/%s round %d: %w", u.Scenario, u.Point, u.Round, err)
+			return fmt.Errorf("%s: %w", label, err)
 		}
 		return nil
 	})
+	return c.failUnits(errs)
+}
+
+// runUnit is one unit with isolation applied: a guarded attempt, one
+// retry after backoff, and terminal failures recorded in the timings
+// sidecar before the unit's error is returned to its slot.
+func (c *Context) runUnit(label string, u Unit) error {
+	err := c.attemptUnit(label, u)
+	if err == nil {
+		return nil
+	}
+	c.countRetry()
+	c.Logf("unit %s failed (%v); retrying once after %v", label, err, unitRetryBackoff)
+	time.Sleep(unitRetryBackoff)
+	err2 := c.attemptUnit(label, u)
+	if err2 == nil {
+		return nil
+	}
+	c.recordFailed(label, err2, 2)
+	return err2
+}
+
+// attemptUnit is one guarded attempt: the watchdog armed, the harness
+// fault point fired, panics recovered into *PanicError with the stack
+// captured on the unit's own goroutine.
+func (c *Context) attemptUnit(label string, u Unit) (err error) {
+	if d := c.runner.opts.UnitTimeout; d > 0 {
+		fired := make(chan struct{})
+		t := time.AfterFunc(d, func() {
+			defer close(fired)
+			c.flagHung(label, d)
+		})
+		// Stop returning false means the callback is running (or done);
+		// wait it out so nothing touches the timing record after the
+		// unit completes.
+		defer func() {
+			if !t.Stop() {
+				<-fired
+			}
+		}()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := fpUnit.FireKey(label); err != nil {
+		return err
+	}
+	return u.Run()
+}
+
+// failUnits folds the per-unit error slots into the experiment's
+// aggregate: the lowest-index failure plus the failure count — a pure
+// function of the slots, so the recorded error is byte-identical at any
+// worker count.
+func (c *Context) failUnits(errs []error) error {
+	var first error
+	n := 0
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		n++
+	}
+	switch {
+	case first == nil:
+		return nil
+	case n == 1:
+		return first
+	default:
+		return fmt.Errorf("%d units failed; first: %w", n, first)
+	}
+}
+
+func (c *Context) countRetry() {
+	if metrics.Enabled() {
+		mUnitsRetried.Inc()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tim != nil {
+		c.tim.Retries++
+	}
+}
+
+func (c *Context) recordFailed(label string, err error, attempts int) {
+	if metrics.Enabled() {
+		mUnitsFailed.Inc()
+	}
+	var stack string
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		stack = pe.Stack
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tim != nil {
+		c.tim.Failed = append(c.tim.Failed, &FailedUnit{
+			Unit: label, Error: err.Error(), Stack: stack, Attempts: attempts,
+		})
+	}
+}
+
+// flagHung runs on the watchdog timer's goroutine when a unit outlives
+// -unit-timeout. It only observes — the unit keeps running and may yet
+// finish; killing it could corrupt shared caches mid-write.
+func (c *Context) flagHung(label string, d time.Duration) {
+	if metrics.Enabled() {
+		mUnitsHung.Inc()
+	}
+	c.Logf("watchdog: unit %s still running after %v (flagged, not killed)", label, d)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tim != nil {
+		c.tim.Hung = append(c.tim.Hung, label)
+	}
 }
 
 func (c *Context) recordPoint(scenario, point string) {

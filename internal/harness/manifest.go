@@ -113,6 +113,23 @@ type ExperimentTiming struct {
 	// is the manifest record's Units.
 	UnitsComputed int `json:"units_computed"`
 	UnitsCached   int `json:"units_cached"`
+	// Retries counts unit attempts that failed and were re-run; Failed
+	// lists units that still failed after their retry, with stacks when
+	// the failure was a recovered panic; Hung lists units flagged by the
+	// -unit-timeout watchdog (they may have finished later — the
+	// watchdog flags, never kills). All are provenance: failures also
+	// surface deterministically in the manifest record's Error.
+	Retries int           `json:"retries,omitempty"`
+	Failed  []*FailedUnit `json:"failed,omitempty"`
+	Hung    []string      `json:"hung,omitempty"`
+}
+
+// FailedUnit records one work unit that failed after its retry.
+type FailedUnit struct {
+	Unit     string `json:"unit"`
+	Error    string `json:"error"`
+	Stack    string `json:"stack,omitempty"`
+	Attempts int    `json:"attempts"`
 }
 
 // WriteManifest serialises the manifest to path with a trailing newline.

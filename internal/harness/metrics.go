@@ -25,6 +25,12 @@ var (
 		"work units served from the content-addressed result store")
 	mUnitWall = metrics.NewHistogram("harness_unit_wall_seconds",
 		"wall time per work unit (cached loads included)")
+	mUnitsRetried = metrics.NewCounter("harness_units_retried_total",
+		"failed unit attempts that were retried")
+	mUnitsFailed = metrics.NewCounter("harness_units_failed_total",
+		"work units that still failed after their retry")
+	mUnitsHung = metrics.NewCounter("harness_units_hung_total",
+		"work units flagged by the -unit-timeout watchdog")
 
 	mResultHits = metrics.NewCounter("result_store_hits_total",
 		"result-store loads that served a stored unit")
@@ -36,6 +42,8 @@ var (
 		"unit results written to the result store")
 	mResultWrittenBytes = metrics.NewCounter("result_store_written_bytes_total",
 		"bytes written to the result store")
+	mResultCorrupt = metrics.NewCounter("result_store_corrupt_total",
+		"result-store files that failed validation and were quarantined")
 )
 
 // MetricsFile is the name of the per-run metrics snapshot written beside
@@ -80,6 +88,7 @@ func (r *Runner) flushStoreStats() {
 	mResultReadBytes.Add(st.ReadBytes)
 	mResultSaves.Add(st.Saves)
 	mResultWrittenBytes.Add(st.WrittenBytes)
+	mResultCorrupt.Add(st.Corrupt)
 }
 
 // writeMetrics writes the run's metrics.json when the registry is

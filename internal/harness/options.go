@@ -52,6 +52,16 @@ type Options struct {
 	// default — the disabled registry costs the hot paths one predictable
 	// branch — and never affects traces or the manifest (test-enforced).
 	Metrics bool
+	// UnitTimeout, when positive, arms a per-unit watchdog: units still
+	// running after this long are flagged — logged, counted, listed in
+	// timings.json — but never killed, so a slow unit degrades to a
+	// diagnostic instead of a lost sweep. Off by default.
+	UnitTimeout time.Duration
+	// FaultPoints arms deterministic fault injection
+	// (internal/faultpoint) from the CLI: comma-separated
+	// name=action[:arg][@selector]... specs. Empty leaves injection
+	// disabled, which is the production state.
+	FaultPoints string
 	// CodeDigest identifies the code that computed stored results; it is
 	// part of every result-store key, so results computed by different
 	// code never alias. Empty derives it from the build's VCS stamp
@@ -88,6 +98,8 @@ func (o *Options) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&o.TrafficStore, "traffic-store", o.TrafficStore, "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
 	fs.Int64Var(&o.TrafficStoreCap, "traffic-store-cap", o.TrafficStoreCap, "byte budget of the traffic-trace store: least-recently-used traces are evicted past it (0: unbounded)")
 	fs.BoolVar(&o.Metrics, "metrics", o.Metrics, "enable the telemetry registry and write a metrics.json snapshot beside timings.json")
+	fs.DurationVar(&o.UnitTimeout, "unit-timeout", o.UnitTimeout, "flag work units still running after this long (watchdog: logged and listed in timings.json, never killed; 0: off)")
+	fs.StringVar(&o.FaultPoints, "faultpoints", o.FaultPoints, "arm deterministic fault injection: comma-separated name=action[:arg][@hit=n][@key=k][@seed=s:n][@count=n] specs (testing and CI only)")
 	fs.StringVar(&o.CodeDigest, "code-digest", o.CodeDigest, "code identity mixed into result-store keys (empty: VCS build stamp, or \"dev\")")
 }
 
@@ -105,6 +117,9 @@ func (o Options) Validate() (Options, error) {
 	}
 	if o.TileWorkers < 0 {
 		return o, fmt.Errorf("harness: negative tile workers %d", o.TileWorkers)
+	}
+	if o.UnitTimeout < 0 {
+		return o, fmt.Errorf("harness: negative unit timeout %v", o.UnitTimeout)
 	}
 	if o.CodeDigest == "" {
 		o.CodeDigest = buildCodeDigest()

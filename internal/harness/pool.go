@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -25,10 +27,33 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool width.
 func (p *Pool) Workers() int { return p.workers }
 
+// PanicError is a panic recovered at a pool-unit boundary, preserving
+// the panic value and the panicking goroutine's stack so the failure
+// stays diagnosable after the sweep moves on.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// call runs fn(i) with a panic guard: a panicking unit becomes a
+// *PanicError instead of taking down the whole sweep process. The stack
+// is captured at the recover site, inside the unit's goroutine.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i)
+}
+
 // Do runs fn(0..n-1) on up to Workers goroutines and waits for all of
 // them. Workers claim indices from a shared counter, so the schedule is
 // work-stealing; determinism comes from fn writing only to its own index.
-// The returned error is the lowest-index failure, independent of which
+// A failing (or panicking) unit aborts the remaining schedule; the
+// returned error is the lowest-index failure, independent of which
 // goroutine observed its error first.
 func (p *Pool) Do(n int, fn func(i int) error) error {
 	if n <= 0 {
@@ -40,7 +65,7 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -61,7 +86,7 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 				if i >= n || failed.Load() {
 					return
 				}
-				if errs[i] = fn(i); errs[i] != nil {
+				if errs[i] = call(fn, i); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
@@ -74,4 +99,45 @@ func (p *Pool) Do(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// DoAll is Do without the early abort: every index runs to completion
+// regardless of other units' failures, and the per-index errors come
+// back positionally. Panics are recovered into *PanicError exactly like
+// Do. The harness uses this for unit isolation — one bad unit fails
+// alone while its siblings finish and persist their results.
+func (p *Pool) DoAll(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n <= 0 {
+		return errs
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = call(fn, i)
+		}
+		return errs
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = call(fn, i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
 }

@@ -11,9 +11,26 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultpoint"
+	"repro/internal/storeutil"
 	"repro/internal/trace"
 )
+
+// Store fault-injection sites, fired with the unit key: load-time error
+// injection and save-time torn writes, for the recovery tests and the
+// crash suite. Disarmed cost: one atomic load each.
+var (
+	fpResultLoad = faultpoint.New("harness.store.load")
+	fpResultSave = faultpoint.New("harness.store.save.write")
+)
+
+// staleTempAge is how old an abandoned atomic-write temp file must be
+// before opening a store sweeps it: old enough that no live writer's
+// temp is ever touched, young enough that a crashed sweep's litter is
+// gone by the resume.
+const staleTempAge = time.Hour
 
 // ResultStoreSchema is the on-disk format version of the unit-result
 // store. Bump it whenever the result wire format or the simulation
@@ -72,7 +89,7 @@ type ResultStore struct {
 	// only at snapshot time.
 	hits, misses         atomic.Uint64
 	readBytes, writeSize atomic.Uint64
-	saves                atomic.Uint64
+	saves, corrupt       atomic.Uint64
 }
 
 // ResultStoreStats is a point-in-time copy of a store's operation
@@ -83,6 +100,7 @@ type ResultStoreStats struct {
 	ReadBytes    uint64 // bytes read serving hits (and rejecting bad files)
 	Saves        uint64 // units written
 	WrittenBytes uint64 // bytes written, header line included
+	Corrupt      uint64 // files that failed validation and were quarantined
 }
 
 // Stats returns the store's operation counters.
@@ -93,6 +111,7 @@ func (s *ResultStore) Stats() ResultStoreStats {
 		ReadBytes:    s.readBytes.Load(),
 		Saves:        s.saves.Load(),
 		WrittenBytes: s.writeSize.Load(),
+		Corrupt:      s.corrupt.Load(),
 	}
 }
 
@@ -104,6 +123,9 @@ func NewResultStore(dir string) (*ResultStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("harness: result store: %w", err)
 	}
+	// A crashed writer leaves its atomic-write temp behind; sweep any old
+	// enough that no live writer can own them.
+	storeutil.CleanStaleTemps(dir, ".unit-", ".tmp", staleTempAge)
 	return &ResultStore{dir: dir}, nil
 }
 
@@ -133,7 +155,22 @@ func (s *ResultStore) Load(key string) (*UnitResult, error) {
 	return res, err
 }
 
+// quarantine handles a file that failed validation: it is counted,
+// moved aside to <name>.corrupt — freeing the path so the caller's
+// recompute-and-Save heals the entry with one atomic rename — and the
+// validation error is annotated with where the bad bytes went.
+func (s *ResultStore) quarantine(path string, err error) error {
+	s.corrupt.Add(1)
+	if qerr := storeutil.Quarantine(path); qerr != nil {
+		return err
+	}
+	return fmt.Errorf("%w (quarantined to %s)", err, filepath.Base(path)+storeutil.QuarantineSuffix)
+}
+
 func (s *ResultStore) load(key string) (*UnitResult, error) {
+	if err := fpResultLoad.FireKey(key); err != nil {
+		return nil, fmt.Errorf("harness: result store: %w", err)
+	}
 	path := s.Path(key)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -145,27 +182,27 @@ func (s *ResultStore) load(key string) (*UnitResult, error) {
 	s.readBytes.Add(uint64(len(data)))
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
-		return nil, fmt.Errorf("harness: result store %s: truncated header", path)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: truncated header", path))
 	}
 	var hdr resultHeader
 	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
-		return nil, fmt.Errorf("harness: result store %s: header: %w", path, err)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: header: %w", path, err))
 	}
 	if hdr.Schema != ResultStoreSchema {
-		return nil, fmt.Errorf("harness: result store %s: schema %q, want %q", path, hdr.Schema, ResultStoreSchema)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: schema %q, want %q", path, hdr.Schema, ResultStoreSchema))
 	}
 	if hdr.Key != key {
-		return nil, fmt.Errorf("harness: result store %s: key mismatch (stored %q)", path, hdr.Key)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: key mismatch (stored %q)", path, hdr.Key))
 	}
 	body := data[nl+1:]
 	want := sectionLen(hdr.MetaLen) + sectionLen(hdr.ProtoLen) + sectionLen(hdr.TrafficLen)
 	if int64(len(body)) != want {
-		return nil, fmt.Errorf("harness: result store %s: body %d bytes, header says %d (truncated?)",
-			path, len(body), want)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: body %d bytes, header says %d (truncated?)",
+			path, len(body), want))
 	}
 	if crc := crc32.ChecksumIEEE(body); crc != hdr.BodyCRC {
-		return nil, fmt.Errorf("harness: result store %s: body CRC %08x, header says %08x (corrupt)",
-			path, crc, hdr.BodyCRC)
+		return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: body CRC %08x, header says %08x (corrupt)",
+			path, crc, hdr.BodyCRC))
 	}
 	res := &UnitResult{}
 	rest := body
@@ -176,7 +213,7 @@ func (s *ResultStore) load(key string) (*UnitResult, error) {
 	if hdr.ProtoLen >= 0 {
 		col, err := trace.ReadJSONL(bytes.NewReader(rest[:hdr.ProtoLen]))
 		if err != nil {
-			return nil, fmt.Errorf("harness: result store %s: protocol: %w", path, err)
+			return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: protocol: %w", path, err))
 		}
 		res.Protocol = col
 		rest = rest[hdr.ProtoLen:]
@@ -184,7 +221,7 @@ func (s *ResultStore) load(key string) (*UnitResult, error) {
 	if hdr.TrafficLen >= 0 {
 		col, err := trace.ReadJSONL(bytes.NewReader(rest))
 		if err != nil {
-			return nil, fmt.Errorf("harness: result store %s: traffic: %w", path, err)
+			return nil, s.quarantine(path, fmt.Errorf("harness: result store %s: traffic: %w", path, err))
 		}
 		res.Traffic = col
 	}
@@ -231,7 +268,28 @@ func (s *ResultStore) Save(key string, res *UnitResult) error {
 	if err != nil {
 		return fmt.Errorf("harness: result store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	keepTmp := false
+	defer func() {
+		if !keepTmp {
+			os.Remove(tmp.Name()) // no-op after a successful rename
+		}
+	}()
+	// Torn-write injection: write only the armed byte prefix and abort
+	// the way a crashed process would — temp left behind, no rename, so
+	// the store's published entry is never a partial file.
+	if n, ok := fpResultSave.ShortWrite(key); ok {
+		payload := append(append(append([]byte{}, hdrLine...), '\n'), body.Bytes()...)
+		if n > len(payload) {
+			n = len(payload)
+		}
+		_, werr := tmp.Write(payload[:n])
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		keepTmp = true
+		return fmt.Errorf("harness: result store: faultpoint short write (%d of %d bytes) on %s: %v",
+			n, len(payload), tmp.Name(), werr)
+	}
 	w := bufio.NewWriter(tmp)
 	if _, err := w.Write(hdrLine); err == nil {
 		if err = w.WriteByte('\n'); err == nil {
@@ -261,6 +319,9 @@ type StoreSummary struct {
 	Dir     string `json:"dir"`
 	Entries int    `json:"entries"`
 	Bytes   int64  `json:"bytes"`
+	// Corrupt counts quarantined (.corrupt) post-mortem files still on
+	// disk — entries that failed validation and were moved aside.
+	Corrupt int `json:"corrupt,omitempty"`
 }
 
 // Summary scans the store directory and reports entry count and total
@@ -272,6 +333,10 @@ func (s *ResultStore) Summary() StoreSummary {
 		return sum
 	}
 	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".unit.jsonl"+storeutil.QuarantineSuffix) {
+			sum.Corrupt++
+			continue
+		}
 		if !strings.HasSuffix(e.Name(), ".unit.jsonl") {
 			continue
 		}

@@ -14,7 +14,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultpoint"
 	"repro/internal/metrics"
+	"repro/internal/storeutil"
 	"repro/internal/trace"
 )
 
@@ -33,7 +35,21 @@ var (
 		"bytes written to the traffic-trace store")
 	mStoreEvictions = metrics.NewCounter("traffic_store_evictions_total",
 		"traffic-trace store entries evicted by the byte budget")
+	mStoreCorrupt = metrics.NewCounter("traffic_store_corrupt_total",
+		"traffic-trace store files that failed validation and were quarantined")
 )
+
+// Store fault-injection sites, fired with the cache key: load-time
+// error injection and save-time torn writes, for the recovery tests.
+// Disarmed cost: one atomic load each.
+var (
+	fpTraceLoad = faultpoint.New("traffic.store.load")
+	fpTraceSave = faultpoint.New("traffic.store.save.write")
+)
+
+// staleTempAge is how old an abandoned atomic-write temp must be before
+// opening the store sweeps it (see storeutil.CleanStaleTemps).
+const staleTempAge = time.Hour
 
 // StoreSchema is the on-disk format version. Bump it whenever the trace
 // wire format or the record semantics change: readers reject files written
@@ -88,6 +104,9 @@ func NewStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("traffic: store: %w", err)
 	}
+	// A crashed writer leaves its atomic-write temp behind; sweep any old
+	// enough that no live writer can own them.
+	storeutil.CleanStaleTemps(dir, ".trace-", ".tmp", staleTempAge)
 	return &Store{dir: dir}, nil
 }
 
@@ -126,7 +145,24 @@ func (s *Store) Load(key string) (*trace.Collector, error) {
 	return col, err
 }
 
+// quarantine handles a file that failed validation: it is counted,
+// moved aside to <name>.corrupt — freeing the path so the caller's
+// recompute-and-Save heals the entry with one atomic rename — and the
+// validation error is annotated with where the bad bytes went.
+func (s *Store) quarantine(path string, err error) error {
+	if metrics.Enabled() {
+		mStoreCorrupt.Inc()
+	}
+	if qerr := storeutil.Quarantine(path); qerr != nil {
+		return err
+	}
+	return fmt.Errorf("%w (quarantined to %s)", err, filepath.Base(path)+storeutil.QuarantineSuffix)
+}
+
 func (s *Store) load(key string) (*trace.Collector, error) {
+	if err := fpTraceLoad.FireKey(key); err != nil {
+		return nil, fmt.Errorf("traffic: store: %w", err)
+	}
 	data, err := os.ReadFile(s.Path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -139,30 +175,30 @@ func (s *Store) load(key string) (*trace.Collector, error) {
 	}
 	nl := bytes.IndexByte(data, '\n')
 	if nl < 0 {
-		return nil, fmt.Errorf("traffic: store %s: truncated header", s.Path(key))
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: truncated header", s.Path(key)))
 	}
 	var hdr storeHeader
 	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
-		return nil, fmt.Errorf("traffic: store %s: header: %w", s.Path(key), err)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: header: %w", s.Path(key), err))
 	}
 	if hdr.Schema != StoreSchema {
-		return nil, fmt.Errorf("traffic: store %s: schema %q, want %q", s.Path(key), hdr.Schema, StoreSchema)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: schema %q, want %q", s.Path(key), hdr.Schema, StoreSchema))
 	}
 	if hdr.Key != key {
-		return nil, fmt.Errorf("traffic: store %s: key mismatch (stored %q)", s.Path(key), hdr.Key)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: key mismatch (stored %q)", s.Path(key), hdr.Key))
 	}
 	body := data[nl+1:]
 	if int64(len(body)) != hdr.BodyLen {
-		return nil, fmt.Errorf("traffic: store %s: body %d bytes, header says %d (truncated?)",
-			s.Path(key), len(body), hdr.BodyLen)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: body %d bytes, header says %d (truncated?)",
+			s.Path(key), len(body), hdr.BodyLen))
 	}
 	if crc := crc32.ChecksumIEEE(body); crc != hdr.BodyCRC {
-		return nil, fmt.Errorf("traffic: store %s: body CRC %08x, header says %08x (corrupt)",
-			s.Path(key), crc, hdr.BodyCRC)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: body CRC %08x, header says %08x (corrupt)",
+			s.Path(key), crc, hdr.BodyCRC))
 	}
 	col, err := trace.ReadJSONL(bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("traffic: store %s: %w", s.Path(key), err)
+		return nil, s.quarantine(s.Path(key), fmt.Errorf("traffic: store %s: %w", s.Path(key), err))
 	}
 	// A successful read refreshes the entry's recency, so eviction under
 	// a byte budget never victimises the world a sweep is actively
@@ -193,7 +229,28 @@ func (s *Store) Save(key string, col *trace.Collector) error {
 	if err != nil {
 		return fmt.Errorf("traffic: store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	keepTmp := false
+	defer func() {
+		if !keepTmp {
+			os.Remove(tmp.Name()) // no-op after a successful rename
+		}
+	}()
+	// Torn-write injection: write only the armed byte prefix and abort
+	// the way a crashed process would — temp left behind, no rename, so
+	// the store's published entry is never a partial file.
+	if n, ok := fpTraceSave.ShortWrite(key); ok {
+		payload := append(append(append([]byte{}, hdr...), '\n'), body.Bytes()...)
+		if n > len(payload) {
+			n = len(payload)
+		}
+		_, werr := tmp.Write(payload[:n])
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		keepTmp = true
+		return fmt.Errorf("traffic: store: faultpoint short write (%d of %d bytes) on %s: %v",
+			n, len(payload), tmp.Name(), werr)
+	}
 	w := bufio.NewWriter(tmp)
 	if _, err := w.Write(hdr); err == nil {
 		if err = w.WriteByte('\n'); err == nil {
@@ -242,7 +299,10 @@ func (s *Store) evict(keep string) {
 	var files []entry
 	var total int64
 	for _, e := range ents {
-		if !strings.HasSuffix(e.Name(), ".trace.jsonl") {
+		// Quarantined post-mortem files count toward the budget — and are
+		// evictable — so corruption can never push the store past its cap.
+		if !strings.HasSuffix(e.Name(), ".trace.jsonl") &&
+			!strings.HasSuffix(e.Name(), ".trace.jsonl"+storeutil.QuarantineSuffix) {
 			continue
 		}
 		info, err := e.Info()

@@ -1,8 +1,9 @@
 #!/bin/sh
 # ci_sweepd_smoke.sh — end-to-end smoke of the results API: run a tiny
 # sweep, start sweepd on it, and check the catalogue, one output's
-# content type, the ETag/If-None-Match 304 contract, and the telemetry
-# endpoints (/api/metrics Prometheus exposition, /api/progress).
+# content type, the ETag/If-None-Match 304 contract, the telemetry
+# endpoints (/api/metrics Prometheus exposition, /api/progress), the
+# /api/healthz probe, and the SIGTERM graceful-shutdown contract.
 set -eu
 
 work="$(mktemp -d)"
@@ -108,6 +109,17 @@ echo "$progress" | grep -Eq '"units_cached": *[1-9]' || {
     exit 1
 }
 
+echo "==> /api/healthz"
+healthz="$(curl -fsS "http://$addr/api/healthz")"
+echo "$healthz" | grep -q '"status": *"ok"' || {
+    echo "FAIL: healthz not ok: $healthz" >&2
+    exit 1
+}
+echo "$healthz" | grep -q '"manifest_loaded": *true' || {
+    echo "FAIL: healthz does not see the manifest: $healthz" >&2
+    exit 1
+}
+
 echo "==> index lists the telemetry routes; 405 vs 404 on writes"
 curl -fsS "http://$addr/" | grep -q '/api/metrics' || {
     echo "FAIL: index does not list /api/metrics" >&2
@@ -118,4 +130,14 @@ code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/api/metrics
 code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/no/such/route")"
 [ "$code" = 404 ] || { echo "FAIL: POST on an unknown route answered $code, want 404" >&2; exit 1; }
 
-echo "OK: sweepd serves the catalogue, typed outputs, 304s, metrics and progress"
+echo "==> SIGTERM drains and exits 0"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""   # already gone; keep the EXIT trap from re-killing
+[ "$rc" = 0 ] || {
+    echo "FAIL: sweepd exited $rc on SIGTERM, want graceful 0" >&2
+    exit 1
+}
+
+echo "OK: sweepd serves the catalogue, typed outputs, 304s, metrics, progress, healthz, and drains on SIGTERM"
