@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume crash-resume sweepd-smoke metrics-smoke
+.PHONY: all build test short race bench bench-traffic bench-json bench-compare fmt vet check sweep-resume crash-resume soak sweepd-smoke metrics-smoke
 
 all: build test
 
@@ -31,7 +31,7 @@ bench-traffic:
 # Machine-readable benchmark snapshot; the committed BENCH_<n>.json files
 # track the perf trajectory PR over PR. Two steps (not a pipe) so a
 # failed bench run cannot silently produce a truncated snapshot.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_7.json
 bench-json:
 	$(GO) test -run=NONE -bench=. -benchtime=1x -benchmem ./... > bench.out.tmp
 	$(GO) run ./cmd/benchjson < bench.out.tmp > $(BENCH_OUT)
@@ -56,6 +56,13 @@ sweep-resume:
 # outputs byte-identical to an uninterrupted baseline.
 crash-resume:
 	sh scripts/ci_crash_resume.sh
+
+# Chaos-soak gate (nightly): repeated sweeps with seed-derived fault
+# schedules armed on the result store's load/save paths, each required
+# to stay byte-identical to a clean baseline, plus a disarmed healing
+# run over the battered store. SOAK_SEED/SOAK_ITERS tune the schedule.
+soak:
+	sh scripts/ci_soak.sh
 
 # Results-API smoke: sweep, start sweepd, check catalogue, typed
 # content types, the ETag/If-None-Match 304 contract, and the

@@ -250,6 +250,12 @@ func (c *Context) CappedRounds(n int) int {
 // config does not pin its own Medium.TileWorkers.
 func (c *Context) TileWorkers() int { return c.runner.tileWorkers }
 
+// FastChannel reports whether the run requested the approximate fast
+// channel mode (-fast-channel). Batch result builders apply it to every
+// unit's scenario config before the config digest is taken, so exact and
+// fast results never alias in the result store.
+func (c *Context) FastChannel() bool { return c.runner.opts.FastChannel }
+
 // Seed returns the run's root seed. Studies put it in their scenario
 // configs; each round function then derives its own streams from it and
 // the round index alone (sim.SeedFor), so any unit can be re-run in

@@ -35,6 +35,12 @@ type Options struct {
 	// exceeds GOMAXPROCS (see EffectiveTileWorkers). 0 runs every unit
 	// single-threaded; traces are byte-identical either way.
 	TileWorkers int
+	// FastChannel selects the radio channel's approximate fast mode for
+	// every scenario in the sweep (radio.Config.FastMode). Unlike
+	// TileWorkers this changes results — statistically equivalent, not
+	// byte-identical — so it is part of every scenario's config digest
+	// and exact/fast results never alias in the result store.
+	FastChannel bool
 	// ResultStore, when non-empty, is the directory of the
 	// content-addressed unit-result store: units whose key (seed, unit
 	// identity, config digest, code digest) is already stored are loaded
@@ -94,6 +100,7 @@ func (o *Options) Bind(fs *flag.FlagSet) {
 	fs.StringVar(&o.OutDir, "out", o.OutDir, "output directory (reports, series, manifest.json, timings.json)")
 	fs.IntVar(&o.Workers, "workers", o.Workers, "concurrent work units (0: GOMAXPROCS)")
 	fs.IntVar(&o.TileWorkers, "tile-workers", o.TileWorkers, "tile-parallel workers inside each simulation, capped so workers x tile-workers <= GOMAXPROCS (0: single-threaded units)")
+	fs.BoolVar(&o.FastChannel, "fast-channel", o.FastChannel, "approximate fast channel mode: quantised PER tables and coarsened shadowing, statistically equivalent to exact mode (digested, so results never alias exact ones)")
 	fs.StringVar(&o.ResultStore, "result-store", o.ResultStore, "directory of the content-addressed unit-result store (empty: recompute everything)")
 	fs.StringVar(&o.TrafficStore, "traffic-store", o.TrafficStore, "directory of the on-disk precomputed traffic-trace store (empty: in-memory cache only)")
 	fs.Int64Var(&o.TrafficStoreCap, "traffic-store-cap", o.TrafficStoreCap, "byte budget of the traffic-trace store: least-recently-used traces are evicted past it (0: unbounded)")

@@ -49,6 +49,18 @@ func (b *Batch) applyTileBudget(m *mac.MediumConfig) {
 	}
 }
 
+// applyChannelMode applies the run's channel mode (-fast-channel) to one
+// unit's scenario config; a config that already requested the fast mode
+// keeps it. Unlike the tile budget this changes results — fast mode is
+// statistically equivalent, not byte-identical — which is exactly why it
+// too must run before the config digest is taken: a stored exact-mode
+// unit must never be served to a fast-mode sweep, or vice versa.
+func (b *Batch) applyChannelMode(fast *bool) {
+	if b.ctx.FastChannel() {
+		*fast = true
+	}
+}
+
 // Go executes every accumulated unit on the shared pool, then runs the
 // finalisers that stitch per-round outputs into the returned results.
 // Go always drains the batch, so after an error the batch is empty and
@@ -151,6 +163,7 @@ func (b *Batch) Testbed(point string, cfg scenario.TestbedConfig) *scenario.Test
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	// The pool owns concurrency; a nested parallel loop would only fight
 	// it for cores.
 	ncfg.Parallel = false
@@ -196,6 +209,7 @@ func (b *Batch) Highway(point string, cfg scenario.HighwayConfig) *scenario.High
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.HighwayResult{
 		Config: ncfg,
 		CarIDs: scenario.CarIDs(ncfg.Cars),
@@ -228,6 +242,7 @@ func (b *Batch) Corridor(point string, cfg scenario.CorridorConfig) *scenario.Co
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.CorridorResult{
 		Config:      ncfg,
 		CarIDs:      scenario.CarIDs(ncfg.Cars),
@@ -261,6 +276,7 @@ func (b *Batch) TwoWay(point string, cfg scenario.TwoWayConfig) *scenario.TwoWay
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.TwoWayResult{
 		Config:   ncfg,
 		CarIDs:   scenario.CarIDs(ncfg.Cars),
@@ -296,6 +312,7 @@ func (b *Batch) TrafficGrid(point string, cfg scenario.TrafficGridConfig) *scena
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.TrafficGridResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -329,6 +346,7 @@ func (b *Batch) CityScale(point string, cfg scenario.CityScaleConfig) *scenario.
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.CityScaleResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -365,6 +383,7 @@ func (b *Batch) CityDemand(point string, cfg scenario.CityDemandConfig) *scenari
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.CityDemandResult{
 		Config:   ncfg,
 		CarIDs:   scenario.CarIDs(ncfg.Cars),
@@ -410,6 +429,7 @@ func (b *Batch) StopGo(point string, cfg scenario.StopGoConfig) *scenario.StopGo
 		ncfg.Arm = point
 	}
 	b.applyTileBudget(&ncfg.Medium)
+	b.applyChannelMode(&ncfg.FastChannel)
 	res := &scenario.StopGoResult{
 		Config:  ncfg,
 		CarIDs:  scenario.CarIDs(ncfg.Cars),
@@ -441,6 +461,7 @@ func (b *Batch) Download(point string, cfg scenario.DownloadConfig) **scenario.D
 		cfg.Arm = point
 	}
 	b.applyTileBudget(&cfg.Medium)
+	b.applyChannelMode(&cfg.FastChannel)
 	res := new(*scenario.DownloadResult)
 	b.addStoredRounds("download", point, 1, cfg,
 		func(int) (*UnitResult, error) {

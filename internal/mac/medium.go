@@ -270,6 +270,20 @@ type Medium struct {
 	pts      []geom.Point
 	overlaps []*transmission
 	wake     []*Station
+	// SoA gather scratch for the batched channel kernels: the candidate
+	// set's link handles and geometry as parallel slices feeding
+	// radio.BatchMeanRxPower (startTransmission), and the delivery-stage
+	// verdict mask, interference terms and decisions feeding
+	// radio.BatchFinish (finishTransmission).
+	shadowScr []*radio.ShadowLink
+	fadeScr   []*radio.FadeStream
+	distScr   []float64
+	posScr    []geom.Point
+	powScr    []float64
+	verdicts  []DropReason
+	skip      []bool
+	interf    []float64
+	decs      []radio.FrameDecision
 
 	// exec is the tiled conservative-parallel executor, nil on the
 	// single-threaded path (TileWorkers == 0).
@@ -665,15 +679,32 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 	// every frame's fading sample through RxMeta.SINRdB, so they stay
 	// and resolve in full.
 	certainFloor := m.channel.CertainMeanFloorDBm(tx.edges)
-	for _, c := range cands {
+	// SoA gather: collect every candidate's link handles and geometry
+	// into parallel scratch slices, sweep the mean-power kernel over the
+	// whole batch, then cull. Shadow processes advance in candidate
+	// order, exactly as the fused per-candidate loop did.
+	n := len(cands)
+	m.shadowScr = growScratch(m.shadowScr, n)
+	m.fadeScr = growScratch(m.fadeScr, n)
+	m.distScr = growScratch(m.distScr, n)
+	m.posScr = growScratch(m.posScr, n)
+	m.powScr = growScratch(m.powScr, n)
+	for i, c := range cands {
 		link := src.linkTo(c.st)
-		pow := m.channel.MeanRxPowerLinkDBm(link.shadow, c.dist, srcPos, c.pos, now)
+		m.shadowScr[i] = link.shadow
+		m.fadeScr[i] = link.fade
+		m.distScr[i] = c.dist
+		m.posScr[i] = c.pos
+	}
+	m.channel.BatchMeanRxPower(m.shadowScr, m.distScr, srcPos, m.posScr, now, m.powScr)
+	for i, c := range cands {
+		pow := m.powScr[i]
 		if pow <= certainFloor && !c.st.cfg.DeliverCorrupt {
 			continue
 		}
 		tx.dests = append(tx.dests, c.st)
 		tx.pows = append(tx.pows, pow)
-		tx.fades = append(tx.fades, link.fade)
+		tx.fades = append(tx.fades, m.fadeScr[i])
 	}
 	// Restore registration order — the ordering contract behind delivery,
 	// sensing and trace byte-identity. The candidates arrive in cell-scan
@@ -716,18 +747,15 @@ func (m *Medium) startTransmission(src *Station, f *packet.Frame, wire []byte) {
 }
 
 // resolveFrames computes every non-culled receiver's frame draw and
-// interference-free decision. It is the one resolution routine of both
-// execution paths — the single-threaded medium calls it inline at
-// transmission start, tile workers call it during the frame's airtime —
-// so byte-identity between the paths holds by construction. It touches
-// only the channel's per-link streams (exclusive to this transmission's
-// links while it is on the air) and the transmission itself; never the
-// medium's mutable state.
+// interference-free decision, via the batched kernel. It is the one
+// resolution routine of both execution paths — the single-threaded
+// medium calls it inline at transmission start, tile workers call it
+// during the frame's airtime — so byte-identity between the paths holds
+// by construction. It touches only the channel's per-link streams
+// (exclusive to this transmission's links while it is on the air) and
+// the transmission itself; never the medium's mutable state or scratch.
 func (m *Medium) resolveFrames(tx *transmission) {
-	bytes := len(tx.wire)
-	for i, fs := range tx.fades {
-		tx.draws[i] = m.channel.ResolveFrame(fs, tx.pows[i], tx.edges, tx.mod, bytes)
-	}
+	m.channel.BatchResolve(tx.fades, tx.pows, tx.edges, tx.mod, len(tx.wire), tx.draws)
 }
 
 // endTransmission resolves delivery of tx at each receiver and wakes
@@ -788,6 +816,7 @@ func (m *Medium) endTransmission(tx *transmission) {
 	if m.exec != nil {
 		m.exec.ensureResolved(tx)
 	}
+	m.finishTransmission(tx)
 	for i := range tx.dests {
 		m.deliver(tx, i)
 	}
@@ -839,38 +868,78 @@ func (m *Medium) enqueueWaiting(s *Station) {
 	}
 }
 
-// deliver decides whether receiver tx.dests[i] successfully captured tx.
+// finishTransmission runs the batched delivery stages over tx's receiver
+// set: MAC verdicts (half-duplex, capture) into a skip mask, per-receiver
+// interference, then radio.BatchFinish for the survivors. Stream effects
+// are identical to the historical per-receiver loop — a verdicted
+// receiver never reaches the channel decision, so no late coin is drawn
+// for it. deliver then replays verdicts and decisions as per-receiver
+// side effects in registration order.
+func (m *Medium) finishTransmission(tx *transmission) {
+	n := len(tx.dests)
+	m.verdicts = growScratch(m.verdicts, n)
+	m.skip = growScratch(m.skip, n)
+	m.interf = growScratch(m.interf, n)
+	m.decs = growScratch(m.decs, n)
+	if len(m.overlaps) == 0 {
+		// Nothing was on the air during tx's window: no half-duplex
+		// conflicts, no interference, no capture checks.
+		negInf := math.Inf(-1)
+		for i := 0; i < n; i++ {
+			m.verdicts[i] = 0
+			m.skip[i] = false
+			m.interf[i] = negInf
+		}
+	} else {
+		noise := m.channel.NoiseFloorDBm()
+		capture := m.channel.CaptureThresholdDB()
+		for i, rx := range tx.dests {
+			m.verdicts[i] = 0
+			m.skip[i] = false
+			// Half-duplex: a station transmitting during any part of the
+			// frame cannot receive it. A transmission of rx's own
+			// overlapping tx is, by definition, in the overlap set.
+			half := false
+			for _, other := range m.overlaps {
+				if other.src == rx {
+					half = true
+					break
+				}
+			}
+			if half {
+				m.verdicts[i] = DropHalfDuplex
+				m.skip[i] = true
+				continue
+			}
+			itf := m.interferenceAt(rx)
+			m.interf[i] = itf
+			// Non-negligible concurrent energy: same-band interference
+			// is not noise-like for DSSS, so apply a capture rule — the
+			// frame survives only if it dominates the interferers by the
+			// capture margin.
+			if itf > noise-10 && tx.pows[i]-itf < capture {
+				m.verdicts[i] = DropCollision
+				m.skip[i] = true
+			}
+		}
+	}
+	m.channel.BatchFinish(tx.fades, tx.draws, tx.pows, m.interf, m.skip, tx.edges, tx.mod, len(tx.wire), m.decs)
+}
+
+// deliver applies receiver tx.dests[i]'s precomputed verdict or channel
+// decision (see finishTransmission): counters, trace events, decode and
+// handler dispatch — the per-receiver side effects, in registration
+// order.
 func (m *Medium) deliver(tx *transmission, i int) {
 	rx := tx.dests[i]
 	now := m.engine.Now()
-	// Half-duplex: a station transmitting during any part of the frame
-	// cannot receive it. A transmission of rx's own overlapping tx is, by
-	// definition, in the precomputed overlap set.
-	for _, other := range m.overlaps {
-		if other.src == rx {
-			m.stats.Drops[DropHalfDuplex]++
-			m.tracer.OnDrop(rx.id, tx.frame, now, DropHalfDuplex)
-			return
-		}
+	if v := m.verdicts[i]; v != 0 {
+		m.stats.Drops[v]++
+		m.tracer.OnDrop(rx.id, tx.frame, now, v)
+		return
 	}
 
-	rxPower := tx.pows[i]
-	interference := m.interferenceAt(rx)
-
-	noise := m.channel.NoiseFloorDBm()
-	if interference > noise-10 {
-		// Non-negligible concurrent energy: same-band interference is
-		// not noise-like for DSSS, so apply a capture rule — the frame
-		// survives only if it dominates the interferers by the capture
-		// margin.
-		if rxPower-interference < m.channel.CaptureThresholdDB() {
-			m.stats.Drops[DropCollision]++
-			m.tracer.OnDrop(rx.id, tx.frame, now, DropCollision)
-			return
-		}
-	}
-
-	decision := m.channel.FinishFrame(tx.fades[i], &tx.draws[i], rxPower, interference, tx.edges, tx.mod, len(tx.wire))
+	decision := m.decs[i]
 	meta := RxMeta{At: now, RxPowerDBm: decision.RxPowerDBm, SINRdB: decision.SINRdB}
 	if !decision.Received {
 		m.stats.Drops[DropChannel]++
@@ -969,4 +1038,13 @@ func (m *Medium) pruneHistory(now time.Duration) {
 
 func secondsToDuration(s float64) time.Duration {
 	return time.Duration(s * float64(time.Second))
+}
+
+// growScratch resizes a reusable scratch slice to n elements without
+// zeroing, reallocating only when capacity grows.
+func growScratch[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, max(n, 2*cap(s)))
+	}
+	return s[:n]
 }

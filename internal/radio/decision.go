@@ -41,7 +41,7 @@ type FadeStream struct {
 // pointers before handing a transmission to a worker.
 type fadeField struct {
 	seed  int64
-	links map[uint32]*FadeStream
+	links map[uint64]*FadeStream
 	// slab and arena amortise per-link construction: city-scale runs
 	// create tens of thousands of streams, and each one allocated
 	// individually shows up in allocs/op.
@@ -49,8 +49,12 @@ type fadeField struct {
 	arena sim.StreamArena
 }
 
-func fadeLinkKey(src, dst packet.NodeID) uint32 {
-	return uint32(src)<<16 | uint32(dst)
+// fadeLinkKey packs a directed link into one integer key. Like the
+// shadowing linkKey it gives each NodeID a 32-bit lane, so the key stays
+// injective even if packet.NodeID widens beyond 16 bits (the original
+// 16-bit lanes collided silently in that case).
+func fadeLinkKey(src, dst packet.NodeID) uint64 {
+	return uint64(src)<<linkKeyLaneBits | uint64(dst)
 }
 
 // FadeStream returns the directed link's per-frame stream, creating it on
@@ -84,6 +88,21 @@ func (c *Channel) FadeStream(src, dst packet.NodeID) *FadeStream {
 type FrameEdges struct {
 	LossSNRdB float64
 	ZeroSNRdB float64
+	// table, set only in fast mode, is the quantised PER curve the
+	// in-band branch reads instead of the exact transcendental one.
+	// Carrying the pointer inside the edges keeps the hot paths free of
+	// mode branches and map lookups (FrameEdges stays comparable — the
+	// memo and tests compare edge values with ==).
+	table *perTable
+}
+
+// per evaluates the PER at an in-band SINR: the quantised table in fast
+// mode, the exact curve otherwise.
+func (e FrameEdges) per(mod Modulation, bytes int, sinrDB float64) float64 {
+	if e.table != nil {
+		return e.table.lookup(sinrDB)
+	}
+	return mod.PER(sinrDB, bytes)
 }
 
 type edgeKey struct {
@@ -94,8 +113,14 @@ type edgeKey struct {
 // FrameEdges returns (and memoises) the decision edges for frames of the
 // given modulation and size. Not safe for concurrent use — the medium
 // resolves edges once per transmission on the simulation loop and stores
-// them on the transmission for its workers.
+// them on the transmission for its workers. In fast mode the size is
+// first rounded up to its geometric class and the returned edges carry
+// that class's PER table: every frame in a class shares one set of edges
+// and one table.
 func (c *Channel) FrameEdges(mod Modulation, bytes int) FrameEdges {
+	if c.fastMath {
+		bytes = sizeClass(bytes)
+	}
 	key := edgeKey{mod.Name, bytes}
 	if e, ok := c.edges[key]; ok {
 		return e
@@ -103,6 +128,9 @@ func (c *Channel) FrameEdges(mod Modulation, bytes int) FrameEdges {
 	e := FrameEdges{
 		LossSNRdB: certainLossSNRdB(mod, bytes),
 		ZeroSNRdB: zeroPERSNRdB(mod, bytes),
+	}
+	if c.fastMath {
+		e.table = buildPERTable(mod, bytes, e)
 	}
 	c.edges[key] = e
 	return e
@@ -186,7 +214,11 @@ type FrameDraw struct {
 func (c *Channel) ResolveFrame(s *FadeStream, meanRxDBm float64, e FrameEdges, mod Modulation, bytes int) FrameDraw {
 	var fade float64
 	if c.cfg.FadingK >= 0 {
-		fade = fadingGainDB(s.rng, c.cfg.FadingK)
+		if c.fastMath {
+			fade = fadingGainFastDB(s.rng, c.cfg.FadingK)
+		} else {
+			fade = fadingGainDB(s.rng, c.cfg.FadingK)
+		}
 		if fade > c.fadeClampDB {
 			fade = c.fadeClampDB
 		}
@@ -200,7 +232,7 @@ func (c *Channel) ResolveFrame(s *FadeStream, meanRxDBm float64, e FrameEdges, m
 		d.PER0 = 0
 		d.Received0 = true
 	default:
-		d.PER0 = mod.PER(sinr0, bytes)
+		d.PER0 = e.per(mod, bytes, sinr0)
 		d.Coin = s.rng.Float64()
 		d.HasCoin = true
 		d.Received0 = d.Coin >= d.PER0
@@ -233,7 +265,7 @@ func (c *Channel) FinishFrame(s *FadeStream, d *FrameDraw, meanRxDBm, interferen
 		dec.PER = 0
 		dec.Received = true
 	default:
-		dec.PER = mod.PER(sinr, bytes)
+		dec.PER = e.per(mod, bytes, sinr)
 		if !d.HasCoin {
 			d.Coin = s.rng.Float64()
 			d.HasCoin = true

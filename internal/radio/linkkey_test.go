@@ -1,0 +1,63 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// nodeIDSamples covers both 8-bit boundaries and the extremes of the
+// current 16-bit NodeID, including Broadcast (0xFFFF).
+var nodeIDSamples = []packet.NodeID{0, 1, 2, 0x00FF, 0x0100, 0x7FFF, 0x8000, 0xFFFE, 0xFFFF}
+
+// TestLinkKeyLanesFitNodeID guards the packed-key layout against a
+// future widening of packet.NodeID: each ID must fit its lane or
+// distinct pairs alias silently (the original 16-bit lanes had exactly
+// that bug waiting).
+func TestLinkKeyLanesFitNodeID(t *testing.T) {
+	const max = ^packet.NodeID(0)
+	if bits := 64 - 32; linkKeyLaneBits > bits {
+		t.Fatalf("lane width %d leaves no room for two lanes in a uint64", linkKeyLaneBits)
+	}
+	if uint64(max) > uint64(1)<<linkKeyLaneBits-1 {
+		t.Fatalf("packet.NodeID max %#x exceeds the %d-bit link-key lane — widen linkKeyLaneBits", uint64(max), linkKeyLaneBits)
+	}
+}
+
+// TestFadeLinkKeyInjective checks the directed key over the boundary
+// grid: every ordered pair must map to a distinct key. With the old
+// 16-bit packing, IDs above 0xFFFF would have collided (e.g. src bits
+// bleeding into the dst lane).
+func TestFadeLinkKeyInjective(t *testing.T) {
+	seen := make(map[uint64][2]packet.NodeID)
+	for _, a := range nodeIDSamples {
+		for _, b := range nodeIDSamples {
+			k := fadeLinkKey(a, b)
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("fadeLinkKey collision: (%v,%v) and (%v,%v) both map to %#x", prev[0], prev[1], a, b, k)
+			}
+			seen[k] = [2]packet.NodeID{a, b}
+		}
+	}
+}
+
+// TestMakeLinkKeyInjectiveUnordered checks the reciprocal shadowing key:
+// unordered pairs must be distinct, and (a,b) must equal (b,a).
+func TestMakeLinkKeyInjectiveUnordered(t *testing.T) {
+	seen := make(map[linkKey][2]packet.NodeID)
+	for i, a := range nodeIDSamples {
+		for _, b := range nodeIDSamples[i:] {
+			k := makeLinkKey(a, b)
+			if k != makeLinkKey(b, a) {
+				t.Fatalf("makeLinkKey(%v,%v) != makeLinkKey(%v,%v)", a, b, b, a)
+			}
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("makeLinkKey collision: {%v,%v} and {%v,%v} both map to %#x", prev[0], prev[1], a, b, uint64(k))
+			}
+			seen[k] = [2]packet.NodeID{a, b}
+			if lo, hi := k.lo(), k.hi(); (lo != a || hi != b) && (lo != b || hi != a) {
+				t.Fatalf("round-trip {%v,%v} -> lo %v hi %v", a, b, lo, hi)
+			}
+		}
+	}
+}

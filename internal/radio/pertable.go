@@ -1,0 +1,93 @@
+package radio
+
+import "math"
+
+// Fast-mode PER quantisation. Exact mode evaluates the modulation's PER
+// curve (Pow + Exp/Erfc + Log1p per call) for every receiver whose SNR
+// lands in the cliff band; fast mode replaces that with a linear
+// interpolation into a table sampled once per (modulation, frame-size
+// class). Frame sizes collapse into geometric √2 classes so traffic with
+// many slightly-different frame sizes (C-ARQ request frames grow with
+// the missing list) shares tables; rounding a frame up to its class
+// shifts the PER cliff by at most ~0.2 dB, well inside the
+// statistical-equivalence bands the mode is validated against.
+
+// perTableBins is the number of interpolation intervals across the
+// cliff band. 256 bins over a typical few-dB band put adjacent samples
+// ~0.02 dB apart; with the curve's bounded curvature the interpolation
+// error stays below ~1e-3 in probability.
+const perTableBins = 256
+
+// perTable is one (modulation, size-class) PER curve quantised across
+// its cliff band [lo, hi]: per[0] at lo (≈1), per[perTableBins] at hi
+// (≈0), linear in between. Lookups clamp to the endpoint values, which
+// is exact whenever the edges are finite (the table is only consulted
+// for SNRs the decision edges classified as in-band).
+type perTable struct {
+	lo      float64
+	invStep float64
+	per     [perTableBins + 1]float64
+}
+
+func (t *perTable) lookup(sinrDB float64) float64 {
+	u := (sinrDB - t.lo) * t.invStep
+	if u <= 0 {
+		return t.per[0]
+	}
+	if u >= perTableBins {
+		return t.per[perTableBins]
+	}
+	k := int(u)
+	frac := u - float64(k)
+	return t.per[k] + (t.per[k+1]-t.per[k])*frac
+}
+
+// buildPERTable samples the exact curve across the cliff band. Edges can
+// be infinite for extreme frame sizes (a PER that never saturates to 1,
+// or never underflows to 0); the band is then trimmed where the curve is
+// within 1e-12 of the endpoint, so the clamp's error is bounded by that.
+func buildPERTable(mod Modulation, bytes int, e FrameEdges) *perTable {
+	lo, hi := e.LossSNRdB, e.ZeroSNRdB
+	if math.IsInf(lo, -1) {
+		lo = perCrossSNRdB(mod, bytes, 1-1e-12)
+	}
+	if math.IsInf(hi, 1) {
+		hi = perCrossSNRdB(mod, bytes, 1e-12)
+	}
+	if !(hi > lo) {
+		hi = lo + 1e-6
+	}
+	t := &perTable{lo: lo, invStep: perTableBins / (hi - lo)}
+	step := (hi - lo) / perTableBins
+	for i := range t.per {
+		t.per[i] = mod.PER(lo+float64(i)*step, bytes)
+	}
+	return t
+}
+
+// perCrossSNRdB bisects the SNR where the (monotone non-increasing) PER
+// curve crosses target, for trimming unbounded cliff bands.
+func perCrossSNRdB(mod Modulation, bytes int, target float64) float64 {
+	a, b := -300.0, 300.0
+	for i := 0; i < 60; i++ {
+		mid := a + (b-a)/2
+		if mod.PER(mid, bytes) >= target {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	return a
+}
+
+// sizeClass rounds a frame size up to its geometric class: ×√2 steps
+// from 16 bytes (16, 22, 31, 43, 60, …). Classes bound the number of
+// tables a run builds regardless of how many distinct frame sizes its
+// traffic produces.
+func sizeClass(bytes int) int {
+	c := 16
+	for c < bytes {
+		c = c * 181 / 128 // ×√2, integer-exact growth
+	}
+	return c
+}

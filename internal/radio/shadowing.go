@@ -12,20 +12,30 @@ import (
 
 // linkKey identifies an unordered station pair; shadowing is modelled as a
 // reciprocal channel property, so (a,b) and (b,a) share one process. The
-// two 16-bit NodeIDs pack into one uint32 so the per-sample map lookup
-// takes the runtime's fast integer-key path.
-type linkKey uint32
+// two NodeIDs pack into one uint64 — a 32-bit lane each — so the
+// per-sample map lookup takes the runtime's fast integer-key path while
+// staying injective even if packet.NodeID ever widens beyond 16 bits
+// (the original 16-bit lanes would have silently collided; see the
+// linkKeyLaneBits guard test).
+type linkKey uint64
+
+// linkKeyLaneBits is each NodeID's lane width inside a packed link key.
+// It must be at least the bit width of packet.NodeID or distinct pairs
+// alias — enforced by TestLinkKeyLanesFitNodeID.
+const linkKeyLaneBits = 32
 
 func makeLinkKey(a, b packet.NodeID) linkKey {
 	if a > b {
 		a, b = b, a
 	}
-	return linkKey(uint32(a)<<16 | uint32(b))
+	return linkKey(uint64(a)<<linkKeyLaneBits | uint64(b))
 }
 
 // lo and hi recover the ordered pair, for the per-link stream names.
-func (k linkKey) lo() packet.NodeID { return packet.NodeID(k >> 16) }
-func (k linkKey) hi() packet.NodeID { return packet.NodeID(k & 0xFFFF) }
+func (k linkKey) lo() packet.NodeID { return packet.NodeID(k >> linkKeyLaneBits) }
+func (k linkKey) hi() packet.NodeID {
+	return packet.NodeID(k & (1<<linkKeyLaneBits - 1))
+}
 
 // appendNodeID appends id.String()'s bytes without going through fmt.
 func appendNodeID(dst []byte, id packet.NodeID) []byte {
@@ -49,7 +59,11 @@ type shadowProcess struct {
 	// itself evolves unclamped so the dynamics are unchanged); it is what
 	// makes the maximum shadowing boost finite for Channel.MaxRangeM.
 	clampDB float64
-	rng     *rand.Rand
+	// hold, when positive (fast mode), is the sample-and-hold grain:
+	// steps shorter than it return the held value without advancing the
+	// state, so the next real step still sees the true elapsed dt.
+	hold time.Duration
+	rng  *rand.Rand
 	// field backs the AR(1) coefficient memo shared by every process of
 	// one shadow field (nil only in standalone tests that build a
 	// process directly).
@@ -92,6 +106,10 @@ func (p *shadowProcess) sample(now time.Duration) float64 {
 		p.primed = true
 	case now <= p.last:
 		// Same instant (or earlier): hold the value.
+	case now-p.last < p.hold:
+		// Fast mode: below the coarse grain, hold without touching the
+		// state — p.last stays put, so correlation decays with the true
+		// elapsed time once a step finally exceeds the grain.
 	case p.tau <= 0:
 		// No correlation: i.i.d. per sample.
 		p.last = now
@@ -144,7 +162,10 @@ type shadowField struct {
 	tau     time.Duration
 	seed    int64
 	clampDB float64
-	links   map[linkKey]*shadowProcess
+	// hold is the fast-mode sample-and-hold grain copied onto every
+	// process (see shadowProcess.hold); zero in exact mode.
+	hold  time.Duration
+	links map[linkKey]*shadowProcess
 	// zero is the shared no-op process handed out when sigma is zero.
 	zero shadowProcess
 	// slab and arena amortise per-pair process construction (see
@@ -200,6 +221,7 @@ func (f *shadowField) link(a, b packet.NodeID) *shadowProcess {
 			tau:     f.tau,
 			rng:     f.arena.Stream(f.seed, name),
 			clampDB: f.clampDB,
+			hold:    f.hold,
 			field:   f,
 		}
 		f.links[key] = p

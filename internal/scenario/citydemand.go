@@ -71,6 +71,12 @@ type CityDemandConfig struct {
 	// Medium selects the radio medium's delivery path (indexed default
 	// vs exhaustive fallback); both produce byte-identical traces.
 	Medium mac.MediumConfig
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -301,6 +307,7 @@ func CityDemandRound(cfg CityDemandConfig, round int) (*trace.Collector, *trace.
 	}
 
 	chCfg := cityScaleChannel()
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}

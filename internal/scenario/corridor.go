@@ -41,6 +41,12 @@ type CorridorConfig struct {
 	APSpacingM float64
 	// APSetbackM is each AP's perpendicular offset from the lane.
 	APSetbackM float64
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneCarq optionally mutates each car's protocol config.
 	TuneCarq func(*carq.Config)
 	// Medium selects the radio medium's delivery path (indexed default
@@ -202,9 +208,11 @@ func runCorridorRound(cfg CorridorConfig, round int, carIDs []packet.NodeID, roa
 		cars[i] = CarSpec{ID: id, Mobility: platoon.Car(i), Carq: ccfg}
 	}
 
+	chCfg := corridorChannel()
+	chCfg.FastMode = cfg.FastChannel
 	result, err := Run(Setup{
 		Seed:     sim.ArmSeed(roundSeed, cfg.Arm),
-		Channel:  corridorChannel(),
+		Channel:  chCfg,
 		MAC:      mac.DefaultConfig(),
 		APs:      aps,
 		Cars:     cars,

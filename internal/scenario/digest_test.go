@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -57,6 +58,10 @@ func TestConfigDigestSeesEveryField(t *testing.T) {
 		// contract, but the configs must still be distinct cache keys).
 		"Medium.TileWorkers": func(c *HighwayConfig) { c.Medium.TileWorkers = 2 },
 		"Medium.TileM":       func(c *HighwayConfig) { c.Medium.TileM = 750 },
+		// FastChannel changes results (statistically equivalent, not
+		// byte-identical), so a digest blind to it would let a stored
+		// exact-mode unit satisfy a fast-mode sweep.
+		"FastChannel": func(c *HighwayConfig) { c.FastChannel = true },
 	}
 	for field, mutate := range perturb {
 		cfg := digestSampleConfig()
@@ -64,6 +69,45 @@ func TestConfigDigestSeesEveryField(t *testing.T) {
 		if got := ConfigDigest(cfg); got == base {
 			t.Errorf("changing %s does not change the digest", field)
 		}
+	}
+}
+
+// TestConfigDigestSeesFastChannelEverywhere: every scenario family
+// carries the FastChannel mode switch, and each family's digest must see
+// it — these are exactly the configs addStoredRounds keys stored results
+// by.
+func TestConfigDigestSeesFastChannelEverywhere(t *testing.T) {
+	cases := []struct {
+		name        string
+		exact, fast any
+	}{
+		{"testbed", TestbedConfig{}, TestbedConfig{FastChannel: true}},
+		{"highway", HighwayConfig{}, HighwayConfig{FastChannel: true}},
+		{"corridor", CorridorConfig{}, CorridorConfig{FastChannel: true}},
+		{"twoway", TwoWayConfig{}, TwoWayConfig{FastChannel: true}},
+		{"download", DownloadConfig{}, DownloadConfig{FastChannel: true}},
+		{"trafficgrid", TrafficGridConfig{}, TrafficGridConfig{FastChannel: true}},
+		{"stopgo", StopGoConfig{}, StopGoConfig{FastChannel: true}},
+		{"citydemand", CityDemandConfig{}, CityDemandConfig{FastChannel: true}},
+		{"cityscale", CityScaleConfig{}, CityScaleConfig{FastChannel: true}},
+	}
+	for _, tc := range cases {
+		if ConfigDigest(tc.exact) == ConfigDigest(tc.fast) {
+			t.Errorf("%s: FastChannel invisible to the config digest", tc.name)
+		}
+	}
+}
+
+// TestRadioConfigFieldCount pins radio.Config's field list: ConfigDigest
+// walks whatever struct it is handed, but scenario configs embed the
+// channel settings as scalar fields plus TuneChannel hooks rather than a
+// radio.Config value, so a newly added channel knob (like FastMode) must
+// be consciously plumbed. Bump the count AND mirror the knob into the
+// scenario configs (or their channel builders) when radio.Config grows.
+func TestRadioConfigFieldCount(t *testing.T) {
+	const want = 12 // incl. FastMode (PR 10)
+	if got := reflect.TypeOf(radio.Config{}).NumField(); got != want {
+		t.Fatalf("radio.Config has %d fields, expected %d — plumb the new field through the scenario configs and update this count", got, want)
 	}
 }
 

@@ -39,6 +39,12 @@ type DownloadConfig struct {
 	FileBlocks uint32
 	// MaxLaps bounds the simulation.
 	MaxLaps int
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// Medium selects the radio medium's delivery path (indexed default
 	// vs exhaustive fallback); both produce byte-identical traces.
 	Medium mac.MediumConfig
@@ -124,9 +130,11 @@ func RunDownload(cfg DownloadConfig) (*DownloadResult, error) {
 	}
 	done := make(map[packet.NodeID]doneMark, cfg.Cars)
 
+	chCfg := testbedChannel()
+	chCfg.FastMode = cfg.FastChannel
 	result, err := Run(Setup{
 		Seed:    sim.ArmSeed(roundSeed, cfg.Arm),
-		Channel: testbedChannel(),
+		Channel: chCfg,
 		MAC:     mac.DefaultConfig(),
 		APs: []APSpec{{
 			Position: TestbedAPPosition(),

@@ -43,6 +43,12 @@ type HighwayConfig struct {
 	// CoopTime is extra simulated time after the pass for the
 	// Cooperative-ARQ phase.
 	CoopTime time.Duration
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -159,6 +165,7 @@ func runHighwayRound(cfg HighwayConfig, round int, carIDs []packet.NodeID) (*tra
 	}
 
 	chCfg := highwayChannel()
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}

@@ -49,6 +49,12 @@ type StopGoConfig struct {
 	// Replay drives the protocol run from a recorded traffic stream;
 	// see TrafficGridConfig.Replay.
 	Replay bool
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -216,6 +222,7 @@ func StopGoRound(cfg StopGoConfig, round int) (*trace.Collector, *trace.Collecto
 	}
 
 	chCfg := highwayChannel()
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}

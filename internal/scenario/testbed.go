@@ -69,6 +69,12 @@ type TestbedConfig struct {
 	FrameCombining bool
 	// Modulation is the PHY rate (the paper fixed 1 Mb/s).
 	Modulation radio.Modulation
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate the derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -346,6 +352,7 @@ func runTestbedRound(cfg TestbedConfig, round int, carIDs []packet.NodeID) (*tra
 	duration := timeToArc(leader, 2*loopLen-coverageSpillM) - 2*time.Second
 
 	chCfg := testbedChannel()
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}

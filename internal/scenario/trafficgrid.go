@@ -50,6 +50,12 @@ type TrafficGridConfig struct {
 	// of live-stepping the traffic on the round's engine. Both modes
 	// produce byte-identical traces.
 	Replay bool
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -271,6 +277,7 @@ func TrafficGridRound(cfg TrafficGridConfig, round int) (*trace.Collector, *trac
 	}
 
 	chCfg := trafficGridChannel(g)
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}

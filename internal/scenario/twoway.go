@@ -68,6 +68,12 @@ type TwoWayConfig struct {
 	// midpoint, APSetbackM off the outbound lane.
 	RoadLengthM float64
 	APSetbackM  float64
+	// FastChannel selects the radio channel's config-gated fast mode
+	// (radio.Config.FastMode): quantised PER tables and coarsened
+	// shadowing, statistically equivalent to exact mode rather than
+	// byte-identical. Part of the config digest, so exact and fast
+	// results never alias in the sweep store.
+	FastChannel bool
 	// TuneChannel and TuneCarq optionally mutate derived configs.
 	TuneChannel func(*radio.Config)
 	TuneCarq    func(*carq.Config)
@@ -263,6 +269,7 @@ func twoWaySetup(cfg TwoWayConfig, round int, carIDs []packet.NodeID) (Setup, er
 	}
 
 	chCfg := twoWayChannel()
+	chCfg.FastMode = cfg.FastChannel
 	if cfg.TuneChannel != nil {
 		cfg.TuneChannel(&chCfg)
 	}
